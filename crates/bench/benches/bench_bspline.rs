@@ -1,0 +1,68 @@
+//! Criterion bench: 3D multi-spline SPO evaluation across layouts
+//! (spline-outer ref vs spline-innermost SoA) and precisions — the
+//! `Bspline-v` / `Bspline-vgh` kernels of Figs. 2 and 7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmc_bspline::MultiBspline3D;
+use qmc_containers::Real;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_precision<T: Real>(c: &mut Criterion, tag: &str) {
+    let ns = 128;
+    let table = MultiBspline3D::<T>::random([32, 32, 32], ns, 11);
+    let mut rng = StdRng::seed_from_u64(5);
+    let points: Vec<[T; 3]> = (0..64)
+        .map(|_| {
+            [
+                T::from_f64(rng.random::<f64>()),
+                T::from_f64(rng.random::<f64>()),
+                T::from_f64(rng.random::<f64>()),
+            ]
+        })
+        .collect();
+    let mut psi = vec![T::ZERO; ns];
+    let mut grad = vec![T::ZERO; 3 * ns];
+    let mut hess = vec![T::ZERO; 6 * ns];
+
+    let mut group = c.benchmark_group(format!("bspline_{tag}_ns{ns}"));
+    let mut idx = 0usize;
+    group.bench_function(BenchmarkId::new("v", "ref"), |b| {
+        b.iter(|| {
+            idx = (idx + 1) % points.len();
+            table.evaluate_v_ref(points[idx], &mut psi);
+            black_box(&psi);
+        })
+    });
+    group.bench_function(BenchmarkId::new("v", "soa"), |b| {
+        b.iter(|| {
+            idx = (idx + 1) % points.len();
+            table.evaluate_v(points[idx], &mut psi);
+            black_box(&psi);
+        })
+    });
+    group.bench_function(BenchmarkId::new("vgh", "ref"), |b| {
+        b.iter(|| {
+            idx = (idx + 1) % points.len();
+            table.evaluate_vgh_ref(points[idx], &mut psi, &mut grad, &mut hess);
+            black_box(&psi);
+        })
+    });
+    group.bench_function(BenchmarkId::new("vgh", "soa"), |b| {
+        b.iter(|| {
+            idx = (idx + 1) % points.len();
+            table.evaluate_vgh(points[idx], &mut psi, &mut grad, &mut hess);
+            black_box(&psi);
+        })
+    });
+    group.finish();
+}
+
+fn bench_bspline(c: &mut Criterion) {
+    bench_precision::<f64>(c, "f64");
+    bench_precision::<f32>(c, "f32");
+}
+
+criterion_group!(benches, bench_bspline);
+criterion_main!(benches);

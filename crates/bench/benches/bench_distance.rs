@@ -1,0 +1,68 @@
+//! Criterion bench: distance-table kernels (the paper's top hot spot).
+//!
+//! Compares the baseline packed-triangle AoS table against the SoA table
+//! for the three operations of the PbyP cycle: full build, candidate-row
+//! computation, and the accept-time update (strided scatter vs forward
+//! row copy), at two problem sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmc_containers::TinyVector;
+use qmc_particles::{random_positions_in_cell, CrystalLattice, Layout, ParticleSet, Species};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn build(n: usize, layout: Layout) -> ParticleSet<f64> {
+    let l = 15.8;
+    let lat = CrystalLattice::cubic(l);
+    let mut rng = StdRng::seed_from_u64(7);
+    let pos = random_positions_in_cell(&lat, n, &mut rng);
+    let mut p = ParticleSet::new(
+        "e",
+        lat,
+        vec![(
+            Species {
+                name: "u".into(),
+                charge: -1.0,
+            },
+            pos,
+        )],
+    );
+    p.add_table_aa(layout);
+    p
+}
+
+fn bench_distance(c: &mut Criterion) {
+    for &n in &[96usize, 384] {
+        let mut group = c.benchmark_group(format!("dist_table_N{n}"));
+        for (label, layout) in [("aos", Layout::Aos), ("soa", Layout::Soa)] {
+            let mut p = build(n, layout);
+            group.bench_function(BenchmarkId::new("full_build", label), |b| {
+                b.iter(|| {
+                    p.update_tables();
+                    black_box(&p);
+                })
+            });
+            let newpos = TinyVector([1.234, 5.678, 9.012]);
+            group.bench_function(BenchmarkId::new("candidate_row", label), |b| {
+                b.iter(|| {
+                    p.make_move(n / 2, newpos);
+                    p.reject_move(n / 2);
+                    black_box(&p);
+                })
+            });
+            group.bench_function(BenchmarkId::new("move_accept", label), |b| {
+                b.iter(|| {
+                    p.prepare_move(n / 2);
+                    p.make_move(n / 2, newpos);
+                    p.accept_move(n / 2);
+                    black_box(&p);
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_distance);
+criterion_main!(benches);

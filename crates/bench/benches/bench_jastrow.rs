@@ -1,0 +1,98 @@
+//! Criterion bench: two-body Jastrow, store-everything (ref) versus
+//! compute-on-the-fly (SoA), for the ratio+gradient and accept operations
+//! of the PbyP cycle — the kernels behind the paper's 8x J2 speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmc_bspline::CubicBspline1D;
+use qmc_containers::TinyVector;
+use qmc_particles::{random_positions_in_cell, CrystalLattice, Layout, ParticleSet, Species};
+use qmc_wavefunction::{traits::WaveFunctionComponent, J2Ref, J2Soa, PairFunctors};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn electrons(n: usize, layout: Layout) -> ParticleSet<f64> {
+    let l = 15.8;
+    let lat = CrystalLattice::cubic(l);
+    let mut rng = StdRng::seed_from_u64(3);
+    let pos = random_positions_in_cell(&lat, n, &mut rng);
+    let half = n / 2;
+    let mut p = ParticleSet::new(
+        "e",
+        lat,
+        vec![
+            (
+                Species {
+                    name: "u".into(),
+                    charge: -1.0,
+                },
+                pos[..half].to_vec(),
+            ),
+            (
+                Species {
+                    name: "d".into(),
+                    charge: -1.0,
+                },
+                pos[half..].to_vec(),
+            ),
+        ],
+    );
+    p.add_table_aa(layout);
+    p
+}
+
+fn functors() -> PairFunctors<f64> {
+    PairFunctors::new(2, |a, b| {
+        let (amp, cusp) = if a == b { (0.35, -0.25) } else { (0.5, -0.5) };
+        CubicBspline1D::fit(
+            move |r| amp * (1.0 - r / 3.9).powi(3) / (1.0 + 0.4 * r),
+            cusp,
+            3.9,
+            10,
+        )
+    })
+}
+
+fn bench_jastrow(c: &mut Criterion) {
+    for &n in &[96usize, 384] {
+        let mut group = c.benchmark_group(format!("j2_N{n}"));
+        let variants: [(&str, Layout); 2] = [("ref", Layout::Aos), ("soa", Layout::Soa)];
+        for (label, layout) in variants {
+            let mut p = electrons(n, layout);
+            let mut j2: Box<dyn WaveFunctionComponent<f64>> = match layout {
+                Layout::Aos => Box::new(J2Ref::new(&p, 0, functors())),
+                Layout::Soa => Box::new(J2Soa::new(&p, 0, functors())),
+            };
+            j2.evaluate_log(&mut p);
+            let iat = n / 2;
+            let newpos = p.pos(iat) + TinyVector([0.2, -0.1, 0.15]);
+
+            group.bench_function(BenchmarkId::new("evaluate_log", label), |b| {
+                b.iter(|| black_box(j2.evaluate_log(&mut p)))
+            });
+            group.bench_function(BenchmarkId::new("ratio_grad", label), |b| {
+                p.prepare_move(iat);
+                p.make_move(iat, newpos);
+                b.iter(|| {
+                    let mut g = TinyVector::zero();
+                    black_box(j2.ratio_grad(&p, iat, &mut g))
+                });
+                p.reject_move(iat);
+            });
+            group.bench_function(BenchmarkId::new("move_accept", label), |b| {
+                b.iter(|| {
+                    p.prepare_move(iat);
+                    p.make_move(iat, newpos);
+                    let mut g = TinyVector::zero();
+                    black_box(j2.ratio_grad(&p, iat, &mut g));
+                    j2.accept_move(&p, iat);
+                    p.accept_move(iat);
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_jastrow);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: monolithic vs AoSoA-tiled multi-spline evaluation
+//! (§8.4 future work, ref [8]). The tiled layout's locality advantage
+//! appears as the orbital count grows beyond what one stencil's working
+//! set can keep in cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmc_bspline::{MultiBspline3D, TiledMultiBspline3D};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_tiled(c: &mut Criterion) {
+    for &ns in &[128usize, 512] {
+        let grid = [24, 24, 24];
+        let mono = MultiBspline3D::<f32>::random(grid, ns, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        let points: Vec<[f32; 3]> = (0..64)
+            .map(|_| {
+                [
+                    rng.random::<f32>(),
+                    rng.random::<f32>(),
+                    rng.random::<f32>(),
+                ]
+            })
+            .collect();
+        let mut psi = vec![0.0f32; ns];
+        let mut idx = 0usize;
+
+        let mut group = c.benchmark_group(format!("tiled_spline_ns{ns}"));
+        group.bench_function(BenchmarkId::new("v", "monolithic"), |b| {
+            b.iter(|| {
+                idx = (idx + 1) % points.len();
+                mono.evaluate_v(points[idx], &mut psi);
+                black_box(&psi);
+            })
+        });
+        for &w in &[64usize, 128] {
+            if w > ns {
+                continue;
+            }
+            let tiled = TiledMultiBspline3D::<f32>::random(grid, ns, w, 7);
+            group.bench_function(BenchmarkId::new("v", format!("tiled{w}")), |b| {
+                b.iter(|| {
+                    idx = (idx + 1) % points.len();
+                    tiled.evaluate_v(points[idx], &mut psi);
+                    black_box(&psi);
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_tiled);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Runs the entire evaluation suite (every figure and table harness) in
+//! sequence, the one-command reproduction of §8. Pass `--full` for
+//! paper-sized problems (slow); default is the scaled suite.
+
+use std::process::Command;
+
+fn main() {
+    let pass_through: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1_workloads",
+        "fig3_jastrow_functors",
+        "fig2_hotspots",
+        "fig7_roofline",
+        "fig8_speedup_memory",
+        "fig9_memory",
+        "fig10_energy",
+        "table2_speedups",
+        "fig1_strong_scaling",
+        "hyperthreading_study",
+        "ablation",
+    ];
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("cannot locate binary directory");
+
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n############################################################");
+        println!("## {bin}");
+        println!("############################################################");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&pass_through)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failed.push(bin);
+            }
+            Err(e) => {
+                eprintln!("{bin} failed to launch: {e}");
+                failed.push(bin);
+            }
+        }
+    }
+    println!("\n############################################################");
+    if failed.is_empty() {
+        println!("## all {} experiments completed", bins.len());
+    } else {
+        println!("## FAILED: {failed:?}");
+        std::process::exit(1);
+    }
+}

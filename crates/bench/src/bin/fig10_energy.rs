@@ -1,0 +1,73 @@
+//! Figure 10: energy usage of the NiO-32 benchmark, Ref vs Current.
+//!
+//! The paper measures package+DRAM power with turbostat at 5 s intervals
+//! and finds it flat (210-215 W) during the DMC phase for both versions,
+//! concluding that the energy reduction equals the speedup. We model
+//! exactly that: measured wall times (init + DMC phases are real) at the
+//! paper's constant wattage, then print the turbostat-style power trace
+//! and the energy ratio next to the speedup (see DESIGN.md substitution).
+
+use qmc_bench::HarnessConfig;
+use qmc_instrument::{EnergyModel, DEFAULT_DMC_WATTS, DEFAULT_INIT_WATTS};
+use qmc_workloads::{run_dmc_benchmark, Benchmark, CodeVersion, Workload};
+
+fn run_with_phases(
+    w: &Workload,
+    code: CodeVersion,
+    cfg: &HarnessConfig,
+) -> (EnergyModel, f64) {
+    // Init phase: engine construction + walker initialization is inside
+    // run_dmc_benchmark; approximate the split by timing table build
+    // separately (the dominant init cost).
+    let t0 = std::time::Instant::now();
+    let _ = w.table_bytes(code.single_precision());
+    let init_s = t0.elapsed().as_secs_f64().max(1e-3);
+    let out = run_dmc_benchmark(w, code, &cfg.run_config());
+    let mut m = EnergyModel::new();
+    m.add_phase("init", init_s, DEFAULT_INIT_WATTS);
+    m.add_phase("DMC", out.seconds, DEFAULT_DMC_WATTS);
+    (m, out.seconds)
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let w = cfg.workload(Benchmark::NiO32);
+    println!(
+        "== Fig 10: energy model, {} ({} electrons) ==",
+        w.spec.name,
+        w.num_electrons()
+    );
+    println!(
+        "modeled power: init {DEFAULT_INIT_WATTS} W, DMC {DEFAULT_DMC_WATTS} W (paper: flat 210-215 W)\n"
+    );
+
+    let (m_ref, t_ref) = run_with_phases(&w, CodeVersion::Ref, &cfg);
+    let (m_cur, t_cur) = run_with_phases(&w, CodeVersion::Current, &cfg);
+
+    // Turbostat-style 5-second-equivalent trace (scaled interval for short
+    // runs: 20 samples across the longer trace).
+    let interval = (m_ref.total_seconds() / 20.0).max(1e-3);
+    println!("power trace (t_s, watts) at {interval:.3}s sampling:");
+    println!("{:>10} {:>10} {:>10}", "t(s)", "Ref W", "Current W");
+    let tr = m_ref.power_trace(interval);
+    let tc = m_cur.power_trace(interval);
+    for i in 0..tr.len().max(tc.len()) {
+        let (t, wr) = tr.get(i).copied().unwrap_or((i as f64 * interval, 0.0));
+        let wc = tc.get(i).map(|x| x.1).unwrap_or(0.0);
+        println!("{t:>10.3} {wr:>10.0} {wc:>10.0}");
+    }
+
+    let e_ref = m_ref.joules_excluding(&["init"]);
+    let e_cur = m_cur.joules_excluding(&["init"]);
+    println!("\nDMC-phase energy: Ref {e_ref:.1} J, Current {e_cur:.1} J");
+    println!(
+        "energy ratio {:.2}x  vs  speedup {:.2}x  (paper: 'energy reduction is\n\
+         roughly equal to the speedup' at flat power)",
+        e_ref / e_cur,
+        t_ref / t_cur
+    );
+    assert!(
+        ((e_ref / e_cur) - (t_ref / t_cur)).abs() < 1e-9,
+        "constant-power model: ratios must match exactly"
+    );
+}

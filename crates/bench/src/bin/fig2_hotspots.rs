@@ -1,0 +1,60 @@
+//! Figure 2: normalized hot-spot profiles of the NiO benchmarks, Ref vs
+//! Current.
+//!
+//! As in the paper, the Current profile is plotted on the Ref time axis
+//! ("Current version profiles accommodate the speedup wrt. Ref"): each
+//! Current kernel share is scaled by `T_current / T_ref`, so shrinking
+//! bars show where the time went.
+
+use qmc_bench::{run_best, HarnessConfig};
+use qmc_instrument::ALL_KERNELS;
+use qmc_workloads::{Benchmark, CodeVersion};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    for b in [Benchmark::NiO32, Benchmark::NiO64] {
+        let w = cfg.workload(b);
+        println!(
+            "\n== Fig 2: hot-spot profile, {} ({} electrons) ==",
+            w.spec.name,
+            w.num_electrons()
+        );
+
+        let ref_out = run_best(&w, CodeVersion::Ref, &cfg);
+        let cur_out = run_best(&w, CodeVersion::Current, &cfg);
+        let speed = ref_out.seconds / cur_out.seconds;
+
+        let t_ref = ref_out.profile.total_seconds();
+        let t_cur = cur_out.profile.total_seconds();
+        println!(
+            "wall: Ref {:.3}s, Current {:.3}s  ->  speedup {:.2}x",
+            ref_out.seconds, cur_out.seconds, speed
+        );
+        println!(
+            "{:<14} {:>12} {:>18} {:>12}",
+            "kernel", "Ref share", "Current (Ref axis)", "kernel speedup"
+        );
+        for &k in &ALL_KERNELS {
+            let sr = ref_out.profile.get(k).seconds();
+            let sc = cur_out.profile.get(k).seconds();
+            if sr < 1e-6 && sc < 1e-6 {
+                continue;
+            }
+            let share_ref = sr / t_ref * 100.0;
+            // Scale Current shares onto the Ref axis.
+            let share_cur_on_ref = sc / t_cur * (t_cur / t_ref) * 100.0;
+            let kspeed = if sc > 0.0 { sr / sc } else { f64::INFINITY };
+            println!(
+                "{:<14} {:>11.1}% {:>17.1}% {:>11.2}x",
+                k.label(),
+                share_ref,
+                share_cur_on_ref,
+                kspeed
+            );
+        }
+    }
+    println!(
+        "\n(expected shape per the paper: DistTable+J2 dominate Ref and shrink\n\
+         the most; DetUpdate's share grows in Current, motivating §8.4.)"
+    );
+}

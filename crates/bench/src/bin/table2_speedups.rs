@@ -1,0 +1,42 @@
+//! Table 2: "Speedup of Current over Ref" for all four benchmarks.
+//!
+//! The paper reports three platforms (BG/Q, BDW, KNL); this reproduction
+//! has one host, reported as a single row. The expected shape: speedups in
+//! the 1.3-5x band, largest for the biggest problem (NiO-64), smallest for
+//! the all-electron Be-64 / small problems.
+
+use qmc_bench::{run_best, HarnessConfig};
+use qmc_workloads::{Benchmark, CodeVersion};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    println!("== Table 2: speedup of Current over Ref ==\n");
+    println!("paper values for reference:");
+    println!("{:<8} {:>10} {:>8} {:>8} {:>8}", "", "Graphite", "Be-64", "NiO-32", "NiO-64");
+    println!("{:<8} {:>10} {:>8} {:>8} {:>8}", "BG/Q", 1.6, 1.3, 1.3, 2.4);
+    println!("{:<8} {:>10} {:>8} {:>8} {:>8}", "BDW", 2.9, 3.4, 2.6, 5.2);
+    println!("{:<8} {:>10} {:>8} {:>8} {:>8}", "KNL", 2.2, 2.9, 2.4, 2.4);
+    println!();
+
+
+    print!("{:<8}", "host");
+    let mut speedups = Vec::new();
+    for b in Benchmark::all() {
+        let w = cfg.workload(b);
+        let r = run_best(&w, CodeVersion::Ref, &cfg);
+        let c = run_best(&w, CodeVersion::Current, &cfg);
+        let s = c.throughput() / r.throughput();
+        speedups.push((w.spec.name, s));
+        print!("{:>9.1}x", s);
+    }
+    println!();
+    println!("\nmeasured (this host, {:?} size):", cfg.size());
+    for (name, s) in &speedups {
+        println!("  {name:<10} {s:.2}x");
+    }
+    let min = speedups.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    println!(
+        "\nall speedups >= 1: {}",
+        if min >= 1.0 { "yes" } else { "NO (investigate)" }
+    );
+}

@@ -1,0 +1,176 @@
+//! [`VectorSoaContainer`]: the paper's central data-layout contribution.
+//!
+//! A `VectorSoaContainer<T, D>` (VSC, Fig. 5 of the paper) is the transposed,
+//! structure-of-arrays form of a `Vec<TinyVector<T, D>>`: instead of
+//! `R[N][D]` it stores `Rsoa[D][Np]` where `Np >= N` is padded to the SIMD
+//! width and every slab is 64-byte aligned. Kernels then loop over
+//! contiguous per-dimension slabs, which modern compilers auto-vectorize,
+//! while high-level physics code keeps using the AoS access operators.
+
+use crate::aligned::{padded_len, AlignedVec};
+use crate::real::Real;
+use crate::tiny::TinyVector;
+
+/// Structure-of-arrays container for `n` D-dimensional points.
+///
+/// Mirrors the semantics of QMCPACK's `VectorSoaContainer<T,D>`:
+/// - `operator[]` returns an AoS [`TinyVector`] view of one point,
+/// - assignment from an AoS slice performs the AoS→SoA transpose in place,
+/// - `dim(d)` exposes the contiguous padded slab for dimension `d`.
+#[derive(Clone, Debug)]
+pub struct VectorSoaContainer<T: Real, const D: usize> {
+    data: AlignedVec<T>,
+    n: usize,
+    /// Padded per-dimension capacity (`Np` in the paper).
+    stride: usize,
+}
+
+impl<T: Real, const D: usize> VectorSoaContainer<T, D> {
+    /// Creates storage for `n` points, zero-initialized, with each of the D
+    /// slabs padded to the SIMD width and individually aligned.
+    pub fn new(n: usize) -> Self {
+        let stride = padded_len::<T>(n);
+        Self {
+            data: AlignedVec::zeros(stride * D),
+            n,
+            stride,
+        }
+    }
+
+    /// Number of logical points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the container holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Padded per-dimension capacity (`Np`), a multiple of the SIMD width.
+    #[inline]
+    pub fn padded_len(&self) -> usize {
+        self.stride
+    }
+
+    /// Contiguous slab of dimension `d`, including padding.
+    #[inline]
+    pub fn dim(&self, d: usize) -> &[T] {
+        debug_assert!(d < D);
+        &self.data[d * self.stride..(d + 1) * self.stride]
+    }
+
+    /// Mutable slab of dimension `d`, including padding.
+    #[inline]
+    pub fn dim_mut(&mut self, d: usize) -> &mut [T] {
+        debug_assert!(d < D);
+        &mut self.data.as_mut_slice()[d * self.stride..(d + 1) * self.stride]
+    }
+
+    /// AoS view of point `i` (gather across the D slabs).
+    #[inline]
+    pub fn get(&self, i: usize) -> TinyVector<T, D> {
+        debug_assert!(i < self.n);
+        TinyVector(std::array::from_fn(|d| self.data[d * self.stride + i]))
+    }
+
+    /// Stores `value` at point `i` (scatter across the D slabs). This is the
+    /// "6 floats" update the paper performs on an accepted move.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: TinyVector<T, D>) {
+        debug_assert!(i < self.n);
+        for d in 0..D {
+            self.data[d * self.stride + i] = value[d];
+        }
+    }
+
+    /// AoS→SoA assignment: transposes an AoS slice into this container,
+    /// converting precision if the source scalar type differs. This is the
+    /// `Rsoa = awalker.R` assignment in `loadWalker` (Fig. 5).
+    pub fn copy_from_aos<U: Real>(&mut self, aos: &[TinyVector<U, D>]) {
+        assert_eq!(aos.len(), self.n, "AoS length must match SoA length");
+        for d in 0..D {
+            let base = d * self.stride;
+            for (i, p) in aos.iter().enumerate() {
+                self.data[base + i] = T::from_f64(p[d].to_f64());
+            }
+        }
+    }
+
+    /// SoA→AoS copy, the inverse of [`Self::copy_from_aos`].
+    pub fn copy_to_aos<U: Real>(&self, aos: &mut [TinyVector<U, D>]) {
+        assert_eq!(aos.len(), self.n, "AoS length must match SoA length");
+        for d in 0..D {
+            let base = d * self.stride;
+            for (i, p) in aos.iter_mut().enumerate() {
+                p[d] = U::from_f64(self.data[base + i].to_f64());
+            }
+        }
+    }
+
+    /// Bytes of backing storage (used by the memory ledger).
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        self.stride * D * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aligned::QMC_SIMD_ALIGN;
+
+    #[test]
+    fn slabs_are_aligned_and_padded() {
+        let c = VectorSoaContainer::<f32, 3>::new(17);
+        assert_eq!(c.padded_len(), 32);
+        for d in 0..3 {
+            assert_eq!(c.dim(d).as_ptr() as usize % QMC_SIMD_ALIGN, 0);
+            assert_eq!(c.dim(d).len(), 32);
+        }
+    }
+
+    #[test]
+    fn aos_roundtrip() {
+        let n = 13;
+        let aos: Vec<TinyVector<f64, 3>> = (0..n)
+            .map(|i| TinyVector([i as f64, 10.0 + i as f64, -(i as f64)]))
+            .collect();
+        let mut c = VectorSoaContainer::<f64, 3>::new(n);
+        c.copy_from_aos(&aos);
+        for (i, p) in aos.iter().enumerate() {
+            assert_eq!(c.get(i), *p);
+        }
+        let mut back = vec![TinyVector::<f64, 3>::zero(); n];
+        c.copy_to_aos(&mut back);
+        assert_eq!(back, aos);
+    }
+
+    #[test]
+    fn cross_precision_transpose() {
+        let aos: Vec<TinyVector<f64, 3>> = vec![TinyVector([1.5, 2.5, 3.5]); 4];
+        let mut c = VectorSoaContainer::<f32, 3>::new(4);
+        c.copy_from_aos(&aos);
+        assert_eq!(c.get(2), TinyVector([1.5f32, 2.5, 3.5]));
+    }
+
+    #[test]
+    fn set_updates_all_dims() {
+        let mut c = VectorSoaContainer::<f64, 3>::new(5);
+        c.set(3, TinyVector([7.0, 8.0, 9.0]));
+        assert_eq!(c.get(3), TinyVector([7.0, 8.0, 9.0]));
+        assert_eq!(c.dim(0)[3], 7.0);
+        assert_eq!(c.dim(1)[3], 8.0);
+        assert_eq!(c.dim(2)[3], 9.0);
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let c = VectorSoaContainer::<f64, 3>::new(3);
+        for d in 0..3 {
+            assert!(c.dim(d)[3..].iter().all(|&x| x == 0.0));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! [`TinyVector`]: the fixed-dimension AoS building block.
+//!
+//! This mirrors QMCPACK's `TinyVector<T,D>` (Fig. 4 of the paper): the
+//! natural physics abstraction for a D-dimensional position, gradient or
+//! displacement. The paper keeps these AoS objects for expressing high-level
+//! physics and adds SoA mirrors ([`crate::VectorSoaContainer`]) for kernels.
+
+use crate::real::Real;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A stack-allocated D-dimensional vector of scalars.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TinyVector<T, const D: usize>(pub [T; D]);
+
+impl<T: Real, const D: usize> Default for TinyVector<T, D> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+/// Three-dimensional position/gradient shorthand used across the workspace.
+pub type Pos<T> = TinyVector<T, 3>;
+
+impl<T: Real, const D: usize> TinyVector<T, D> {
+    /// All components zero.
+    #[inline]
+    pub fn zero() -> Self {
+        Self([T::ZERO; D])
+    }
+
+    /// Builds from a closure over the component index.
+    #[inline]
+    pub fn from_fn(f: impl FnMut(usize) -> T) -> Self {
+        Self(std::array::from_fn(f))
+    }
+
+    /// Euclidean dot product with `other`.
+    #[inline]
+    pub fn dot(&self, other: &Self) -> T {
+        let mut acc = T::ZERO;
+        for d in 0..D {
+            acc += self.0[d] * other.0[d];
+        }
+        acc
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm2(&self) -> T {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> T {
+        self.norm2().sqrt()
+    }
+
+    /// Casts every component through `f64` into another precision.
+    #[inline]
+    pub fn cast<U: Real>(&self) -> TinyVector<U, D> {
+        TinyVector(std::array::from_fn(|d| U::from_f64(self.0[d].to_f64())))
+    }
+
+    /// True when all components are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|x| x.is_finite())
+    }
+}
+
+impl<T: Real, const D: usize> Index<usize> for TinyVector<T, D> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.0[i]
+    }
+}
+
+impl<T: Real, const D: usize> IndexMut<usize> for TinyVector<T, D> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.0[i]
+    }
+}
+
+impl<T: Real, const D: usize> Add for TinyVector<T, D> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::from_fn(|d| self.0[d] + rhs.0[d])
+    }
+}
+
+impl<T: Real, const D: usize> Sub for TinyVector<T, D> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::from_fn(|d| self.0[d] - rhs.0[d])
+    }
+}
+
+impl<T: Real, const D: usize> AddAssign for TinyVector<T, D> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        for d in 0..D {
+            self.0[d] += rhs.0[d];
+        }
+    }
+}
+
+impl<T: Real, const D: usize> SubAssign for TinyVector<T, D> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        for d in 0..D {
+            self.0[d] -= rhs.0[d];
+        }
+    }
+}
+
+impl<T: Real, const D: usize> Mul<T> for TinyVector<T, D> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: T) -> Self {
+        Self::from_fn(|d| self.0[d] * s)
+    }
+}
+
+impl<T: Real, const D: usize> Div<T> for TinyVector<T, D> {
+    type Output = Self;
+    #[inline]
+    fn div(self, s: T) -> Self {
+        Self::from_fn(|d| self.0[d] / s)
+    }
+}
+
+impl<T: Real, const D: usize> Neg for TinyVector<T, D> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::from_fn(|d| -self.0[d])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = TinyVector([1.0f64, 2.0, 3.0]);
+        let b = TinyVector([4.0f64, 5.0, 6.0]);
+        assert_eq!((a + b).0, [5.0, 7.0, 9.0]);
+        assert_eq!((b - a).0, [3.0, 3.0, 3.0]);
+        assert_eq!((a * 2.0).0, [2.0, 4.0, 6.0]);
+        assert_eq!((a / 2.0).0, [0.5, 1.0, 1.5]);
+        assert_eq!((-a).0, [-1.0, -2.0, -3.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        assert_eq!(a.norm2(), 14.0);
+        assert!((a.norm() - 14.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = TinyVector([1.0f32, 1.0, 1.0]);
+        a += TinyVector([1.0, 2.0, 3.0]);
+        assert_eq!(a.0, [2.0, 3.0, 4.0]);
+        a -= TinyVector([2.0, 3.0, 4.0]);
+        assert_eq!(a.0, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cast_between_precisions() {
+        let a = TinyVector([1.5f64, -2.25, 0.125]);
+        let b: TinyVector<f32, 3> = a.cast();
+        assert_eq!(b.0, [1.5f32, -2.25, 0.125]);
+        let c: TinyVector<f64, 3> = b.cast();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(TinyVector([0.0f64, 1.0, 2.0]).is_finite());
+        assert!(!TinyVector([f64::NAN, 1.0, 2.0]).is_finite());
+        assert!(!TinyVector([1.0, f64::INFINITY, 2.0]).is_finite());
+    }
+
+    #[test]
+    fn indexing() {
+        let mut a = TinyVector::<f64, 3>::zero();
+        a[1] = 5.0;
+        assert_eq!(a[1], 5.0);
+        assert_eq!(a[0], 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Walker population control: reweighting, birth/death branching and the
+//! trial-energy feedback (Algorithm 1, L13-L14).
+
+use crate::walker::Walker;
+use qmc_containers::Real;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Branching/trial-energy controller.
+pub struct BranchController {
+    /// Target population `<N_w>`.
+    pub target_population: usize,
+    /// Current trial energy `E_T`.
+    pub e_trial: f64,
+    /// Feedback strength for the population control term.
+    pub feedback: f64,
+    /// Time step (enters the reweighting exponent).
+    pub tau: f64,
+    rng: StdRng,
+}
+
+impl BranchController {
+    /// New controller with trial energy initialized to `e0`.
+    pub fn new(target_population: usize, e0: f64, tau: f64, seed: u64) -> Self {
+        Self {
+            target_population,
+            e_trial: e0,
+            feedback: 1.0,
+            tau,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// DMC reweighting factor for a walker whose local energy moved from
+    /// `e_old` to `e_new`: `exp(-tau * ((e_old + e_new)/2 - E_T))`. The
+    /// exponent is clamped (standard E_L-fluctuation capping) so outlier
+    /// configurations at equilibration cannot explode or extinguish the
+    /// population.
+    pub fn weight_factor(&self, e_old: f64, e_new: f64) -> f64 {
+        let x = -self.tau * (0.5 * (e_old + e_new) - self.e_trial);
+        x.clamp(-1.0, 1.0).exp()
+    }
+
+    /// Stochastic-rounding birth/death: each walker is replicated
+    /// `floor(weight + u)` times (u uniform), children carrying unit-ish
+    /// weights. Walkers over `max_age` generations old are forcibly kept.
+    pub fn branch<T: Real>(&mut self, walkers: &mut Vec<Walker<T>>) {
+        // The heaviest walker is always kept (QMCPACK-style minimum-walker
+        // guard), so tiny populations cannot go extinct during
+        // equilibration transients.
+        let keep = walkers
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.weight.total_cmp(&b.1.weight))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut next: Vec<Walker<T>> = Vec::with_capacity(walkers.len() + 8);
+        for (i, mut w) in walkers.drain(..).enumerate() {
+            let u: f64 = self.rng.random();
+            let mut m = (w.weight + u).floor() as usize;
+            m = m.min(4); // cap explosive branching
+            if i == keep {
+                m = m.max(1);
+            }
+            if m == 0 {
+                continue; // death
+            }
+            let share = w.weight / m as f64;
+            for _ in 1..m {
+                let mut c = w.branch_copy();
+                c.weight = share;
+                next.push(c);
+            }
+            w.weight = share;
+            next.push(w);
+        }
+        debug_assert!(!next.is_empty());
+        *walkers = next;
+    }
+
+    /// Updates the trial energy from the population-weighted energy
+    /// estimate and the population feedback term.
+    pub fn update_trial_energy(&mut self, e_est: f64, population: usize) {
+        let ratio = population as f64 / self.target_population as f64;
+        self.e_trial = e_est - self.feedback / self.tau * ratio.ln().clamp(-1.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::{initial_population, zero_positions};
+
+    #[test]
+    fn weight_factor_signs() {
+        let b = BranchController::new(10, -1.0, 0.01, 1);
+        // Local energy below E_T grows weight.
+        assert!(b.weight_factor(-2.0, -2.0) > 1.0);
+        assert!(b.weight_factor(0.0, 0.0) < 1.0);
+        assert!((b.weight_factor(-1.0, -1.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn branching_conserves_expected_population() {
+        let mut b = BranchController::new(100, 0.0, 0.01, 2);
+        let mut walkers = initial_population::<f64>(&zero_positions(2), 100, 3);
+        for (i, w) in walkers.iter_mut().enumerate() {
+            w.weight = if i % 2 == 0 { 1.5 } else { 0.5 };
+        }
+        b.branch(&mut walkers);
+        // Expected population stays ~100 (between 50 kills and 50 splits).
+        assert!(
+            walkers.len() > 70 && walkers.len() < 130,
+            "{}",
+            walkers.len()
+        );
+    }
+
+    #[test]
+    fn heavy_walkers_split_light_walkers_die() {
+        let mut b = BranchController::new(10, 0.0, 0.01, 5);
+        let mut heavy = initial_population::<f64>(&zero_positions(1), 10, 7);
+        for w in heavy.iter_mut() {
+            w.weight = 2.4;
+        }
+        b.branch(&mut heavy);
+        assert!(heavy.len() >= 20, "heavy population {}", heavy.len());
+
+        let mut light = initial_population::<f64>(&zero_positions(1), 200, 9);
+        for w in light.iter_mut() {
+            w.weight = 0.1;
+        }
+        b.branch(&mut light);
+        assert!(light.len() < 60, "light population {}", light.len());
+    }
+
+    #[test]
+    fn trial_energy_feedback_pushes_toward_target() {
+        let mut b = BranchController::new(100, 0.0, 0.01, 11);
+        b.update_trial_energy(-1.0, 200); // too many walkers -> lower E_T
+        assert!(b.e_trial < -1.0);
+        b.update_trial_energy(-1.0, 50); // too few -> raise E_T
+        assert!(b.e_trial > -1.0);
+    }
+}

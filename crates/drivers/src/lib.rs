@@ -1,0 +1,39 @@
+//! # qmc-drivers
+//!
+//! Monte Carlo drivers reproducing Algorithm 1 and the execution structure
+//! of Fig. 4 in *Mathuriya et al., SC'17*:
+//!
+//! * [`walker`] — walkers with private RNG streams and the anonymous
+//!   wavefunction-state buffer.
+//! * [`engine`] — the per-thread compute engine (ParticleSet +
+//!   TrialWaveFunction + Hamiltonian) with the drift-diffusion PbyP sweep.
+//! * [`vmc`] / [`dmc`] — single-engine drivers.
+//! * [`parallel`] — thread crews over walker blocks (the OpenMP level).
+//! * [`ranks`] — simulated multi-rank execution with allreduce and walker
+//!   exchange, for the strong-scaling study (Fig. 1).
+//! * [`estimator`] / [`branch`] — statistics and population control.
+
+// Indexed loops over multiple parallel slices are the deliberate idiom in
+// the SIMD kernels (mirrors the paper's C++ and keeps the auto-vectorizer's
+// job obvious); iterator zips would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod branch;
+pub mod dmc;
+pub mod engine;
+pub mod estimator;
+pub mod parallel;
+pub mod ranks;
+pub mod serialize;
+pub mod vmc;
+pub mod walker;
+
+pub use branch::BranchController;
+pub use dmc::{run_dmc, DmcParams, DmcResult};
+pub use engine::{limited_drift, HamiltonianSet, QmcEngine, SweepStats};
+pub use estimator::ScalarEstimator;
+pub use parallel::{parallel_generation, run_dmc_parallel};
+pub use ranks::{run_multi_rank, MultiRankParams, MultiRankResult};
+pub use serialize::{deserialize_walker, serialize_walker};
+pub use vmc::{run_vmc, VmcParams, VmcResult};
+pub use walker::{initial_population, Walker};

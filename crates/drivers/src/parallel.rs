@@ -1,0 +1,177 @@
+//! Multithreaded walker crews: the OpenMP structure of Fig. 4 mapped onto
+//! scoped threads.
+//!
+//! One [`QmcEngine`] per thread (`E_th`, `Psi_th`); walkers are split into
+//! contiguous chunks per generation and swapped through the engines via
+//! `load_walker`/`store_walker`. Per-kernel timing is drained from each
+//! worker's thread-local profile and merged, reproducing the paper's
+//! hot-spot accounting.
+
+use crate::branch::BranchController;
+use crate::dmc::{DmcParams, DmcResult};
+use crate::engine::QmcEngine;
+use crate::estimator::ScalarEstimator;
+use crate::walker::Walker;
+use parking_lot::Mutex;
+use qmc_containers::Real;
+use qmc_instrument::{drain_thread_profile, Profile};
+
+/// Splits `items` into `parts` contiguous chunks of near-equal size.
+fn chunks_mut<I>(items: &mut [I], parts: usize) -> Vec<&mut [I]> {
+    let n = items.len();
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = items;
+    for t in 0..parts {
+        let take = base + usize::from(t < extra);
+        let (head, tail) = rest.split_at_mut(take);
+        out.push(head);
+        rest = tail;
+    }
+    out
+}
+
+/// One parallel DMC generation: sweep + measure every walker using the
+/// per-thread engines. Returns `(sum w*E, sum w, accepted, attempted)` and
+/// merges worker kernel profiles into `profile`.
+pub fn parallel_generation<T: Real>(
+    engines: &mut [QmcEngine<T>],
+    walkers: &mut [Walker<T>],
+    tau: f64,
+    refresh: bool,
+    branch: &BranchController,
+    profile: &Mutex<Profile>,
+) -> (f64, f64, usize, usize) {
+    let nthreads = engines.len();
+    let chunks = chunks_mut(walkers, nthreads);
+    let results = Mutex::new((0.0f64, 0.0f64, 0usize, 0usize));
+    std::thread::scope(|scope| {
+        for (engine, chunk) in engines.iter_mut().zip(chunks) {
+            let results = &results;
+            let profile = &profile;
+            scope.spawn(move || {
+                qmc_instrument::enable_ftz();
+                let (mut esum, mut wsum, mut acc, mut att) = (0.0, 0.0, 0usize, 0usize);
+                for w in chunk.iter_mut() {
+                    engine.load_walker(w);
+                    if refresh {
+                        engine.refresh_from_scratch();
+                    }
+                    let stats = engine.sweep(tau, &mut w.rng);
+                    acc += stats.accepted;
+                    att += stats.attempted;
+                    let el = engine.measure(&mut w.rng).total();
+                    let factor = branch.weight_factor(w.e_local, el);
+                    w.weight *= factor;
+                    w.age = if stats.accepted == 0 { w.age + 1 } else { 0 };
+                    w.e_local = el;
+                    engine.store_walker(w);
+                    esum += w.weight * el;
+                    wsum += w.weight;
+                }
+                let mut r = results.lock();
+                r.0 += esum;
+                r.1 += wsum;
+                r.2 += acc;
+                r.3 += att;
+                profile.lock().merge(&drain_thread_profile());
+            });
+        }
+    });
+    results.into_inner()
+}
+
+/// Runs DMC across a crew of engines (one per thread). Walker
+/// initialization is parallel too. Returns the result together with the
+/// merged kernel [`Profile`].
+pub fn run_dmc_parallel<T: Real>(
+    engines: &mut [QmcEngine<T>],
+    walkers: &mut Vec<Walker<T>>,
+    params: &DmcParams,
+) -> (DmcResult, Profile) {
+    assert!(!engines.is_empty());
+    let profile = Mutex::new(Profile::default());
+
+    // Parallel walker initialization.
+    {
+        let nthreads = engines.len();
+        let chunks = chunks_mut(walkers, nthreads);
+        std::thread::scope(|scope| {
+            for (engine, chunk) in engines.iter_mut().zip(chunks) {
+                let profile = &profile;
+                scope.spawn(move || {
+                    qmc_instrument::enable_ftz();
+                    for w in chunk.iter_mut() {
+                        engine.init_walker(w);
+                    }
+                    profile.lock().merge(&drain_thread_profile());
+                });
+            }
+        });
+    }
+    let e0 = walkers.iter().map(|w| w.e_local).sum::<f64>() / walkers.len() as f64;
+    let mut branch = BranchController::new(params.target_population, e0, params.tau, params.seed);
+
+    let mut energy = ScalarEstimator::new();
+    let mut population = Vec::with_capacity(params.steps);
+    let (mut accepted, mut attempted) = (0usize, 0usize);
+    let mut samples = 0u64;
+
+    for step in 0..params.steps {
+        let refresh = params.recompute_every > 0 && step % params.recompute_every == 0;
+        let (esum, wsum, acc, att) =
+            parallel_generation(engines, walkers, params.tau, refresh, &branch, &profile);
+        accepted += acc;
+        attempted += att;
+        let e_avg = if wsum > 0.0 { esum / wsum } else { e0 };
+        if step >= params.warmup {
+            energy.push(e_avg, wsum);
+            samples += walkers.len() as u64;
+        }
+        population.push(walkers.len());
+        branch.branch(walkers);
+        branch.update_trial_energy(e_avg, walkers.len());
+    }
+
+    // Fold the coordinator thread's own profile (branching etc.).
+    profile.lock().merge(&drain_thread_profile());
+
+    (
+        DmcResult {
+            energy,
+            population,
+            acceptance: if attempted > 0 {
+                accepted as f64 / attempted as f64
+            } else {
+                0.0
+            },
+            samples,
+            e_trial: branch.e_trial,
+        },
+        profile.into_inner(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_covers_all_items() {
+        let mut v: Vec<usize> = (0..10).collect();
+        let chunks = chunks_mut(&mut v, 3);
+        assert_eq!(chunks.len(), 3);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn chunking_more_parts_than_items() {
+        let mut v: Vec<usize> = (0..2).collect();
+        let chunks = chunks_mut(&mut v, 8);
+        assert_eq!(chunks.len(), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Variational Monte Carlo driver (importance-sampled PbyP Metropolis).
+//!
+//! Used for equilibration, for validating the wavefunction machinery
+//! against analytic systems, and as the lightweight counterpart of the DMC
+//! driver in the benchmarks.
+
+use crate::engine::QmcEngine;
+use crate::estimator::ScalarEstimator;
+use crate::walker::Walker;
+use qmc_containers::Real;
+
+/// VMC run parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct VmcParams {
+    /// Number of blocks (a from-scratch recompute happens per block).
+    pub blocks: usize,
+    /// PbyP sweeps per block per walker.
+    pub steps_per_block: usize,
+    /// Time step of the drifted Gaussian proposal.
+    pub tau: f64,
+    /// Measure the local energy every `measure_every` sweeps.
+    pub measure_every: usize,
+}
+
+impl Default for VmcParams {
+    fn default() -> Self {
+        Self {
+            blocks: 10,
+            steps_per_block: 20,
+            tau: 0.3,
+            measure_every: 1,
+        }
+    }
+}
+
+/// VMC run outcome.
+pub struct VmcResult {
+    /// Local-energy samples (one per measurement).
+    pub energy: ScalarEstimator,
+    /// Overall move acceptance ratio.
+    pub acceptance: f64,
+    /// Monte Carlo samples generated (walker-sweeps).
+    pub samples: u64,
+}
+
+/// Runs VMC on one engine over a set of walkers.
+pub fn run_vmc<T: Real>(
+    engine: &mut QmcEngine<T>,
+    walkers: &mut [Walker<T>],
+    params: &VmcParams,
+) -> VmcResult {
+    qmc_instrument::enable_ftz();
+    let mut energy = ScalarEstimator::new();
+    let mut accepted = 0usize;
+    let mut attempted = 0usize;
+    let mut samples = 0u64;
+
+    for w in walkers.iter_mut() {
+        engine.init_walker(w);
+    }
+
+    for _block in 0..params.blocks {
+        for w in walkers.iter_mut() {
+            engine.load_walker(w);
+            // Per-block mixed-precision hygiene: recompute from scratch.
+            engine.refresh_from_scratch();
+            for step in 0..params.steps_per_block {
+                let stats = engine.sweep(params.tau, &mut w.rng);
+                accepted += stats.accepted;
+                attempted += stats.attempted;
+                samples += 1;
+                if step % params.measure_every == 0 {
+                    let el = engine.measure(&mut w.rng);
+                    w.e_local = el.total();
+                    energy.push(w.e_local, 1.0);
+                }
+            }
+            engine.store_walker(w);
+        }
+    }
+
+    VmcResult {
+        energy,
+        acceptance: if attempted > 0 {
+            accepted as f64 / attempted as f64
+        } else {
+            0.0
+        },
+        samples,
+    }
+}

@@ -1,0 +1,177 @@
+//! NLPP integration tests: quadrature exactness against a flat
+//! wavefunction and state-invariance of the ratio-evaluation protocol.
+
+use qmc_containers::{Pos, TinyVector};
+use qmc_hamiltonian::{NonLocalPP, PpChannel, PseudoSpecies};
+use qmc_particles::{CrystalLattice, Layout, ParticleSet, Species};
+use qmc_wavefunction::TrialWaveFunction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const L: f64 = 10.0;
+
+fn ions() -> ParticleSet<f64> {
+    ParticleSet::new(
+        "ion0",
+        CrystalLattice::cubic(L),
+        vec![(
+            Species {
+                name: "X".into(),
+                charge: 4.0,
+            },
+            vec![TinyVector([5.0, 5.0, 5.0])],
+        )],
+    )
+}
+
+fn electrons(pos: Vec<Pos<f64>>) -> ParticleSet<f64> {
+    ParticleSet::new(
+        "e",
+        CrystalLattice::cubic(L),
+        vec![(
+            Species {
+                name: "u".into(),
+                charge: -1.0,
+            },
+            pos,
+        )],
+    )
+}
+
+#[test]
+fn flat_wavefunction_isolates_l0_channel() {
+    // With Psi = const every ratio is 1, so the angular sums become
+    // sum_q P_l / Nq = delta_{l,0} exactly (the icosahedral rule is exact
+    // through l = 5). The NLPP value must equal sum over in-range
+    // electrons of v_0(r), with the l=1 channel contributing nothing.
+    let ions = ions();
+    let mut e = electrons(vec![
+        TinyVector([5.8, 5.0, 5.0]), // r = 0.8, inside cutoff
+        TinyVector([5.0, 6.1, 5.0]), // r = 1.1, inside
+        TinyVector([1.0, 1.0, 1.0]), // far outside
+    ]);
+    let h_ab = e.add_table_ab(&ions, Layout::Soa);
+    e.add_table_aa(Layout::Soa);
+
+    let nlpp = NonLocalPP::new(
+        h_ab,
+        &ions,
+        vec![PseudoSpecies {
+            channels: vec![
+                PpChannel {
+                    l: 0,
+                    v0: 2.0,
+                    alpha: 0.5,
+                },
+                PpChannel {
+                    l: 1,
+                    v0: -5.0,
+                    alpha: 0.3,
+                },
+            ],
+            r_cut: 1.5,
+        }],
+    );
+    // Empty trial wavefunction: log Psi = 0 everywhere, ratio = 1.
+    let mut psi = TrialWaveFunction::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let v = nlpp.evaluate(&mut e, &mut psi, &mut rng);
+
+    let v0 = |r: f64| 2.0 * (-0.5 * r * r).exp();
+    let expected = v0(0.8) + v0(1.1); // l=1 integrates to zero
+    assert!(
+        (v - expected).abs() < 1e-10,
+        "nlpp {v} vs expected {expected}"
+    );
+}
+
+#[test]
+fn evaluation_leaves_state_untouched() {
+    let ions = ions();
+    let mut e = electrons(vec![
+        TinyVector([5.5, 5.2, 4.9]),
+        TinyVector([4.6, 5.0, 5.4]),
+    ]);
+    let h_ab = e.add_table_ab(&ions, Layout::Soa);
+    let nlpp = NonLocalPP::new(
+        h_ab,
+        &ions,
+        vec![PseudoSpecies {
+            channels: vec![PpChannel {
+                l: 0,
+                v0: 1.0,
+                alpha: 1.0,
+            }],
+            r_cut: 2.0,
+        }],
+    );
+    let before: Vec<Pos<f64>> = (0..2).map(|i| e.pos(i)).collect();
+    let row_before: Vec<f64> = e.table(h_ab).as_ab_soa().dist_row(0).to_vec();
+
+    let mut psi = TrialWaveFunction::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let v1 = nlpp.evaluate(&mut e, &mut psi, &mut rng);
+    assert!(v1.is_finite());
+
+    for i in 0..2 {
+        assert_eq!(e.pos(i), before[i], "electron {i} moved");
+    }
+    assert_eq!(
+        e.table(h_ab).as_ab_soa().dist_row(0),
+        &row_before[..],
+        "stored table row changed"
+    );
+    assert!(e.active_pos().is_none(), "dangling active move");
+}
+
+#[test]
+fn random_rotation_does_not_bias_l0() {
+    // Different RNG streams must give the identical value for a flat
+    // wavefunction (the rotation only matters for l >= 1 anisotropy).
+    let ions = ions();
+    let build = || {
+        let mut e = electrons(vec![TinyVector([5.9, 5.0, 5.0])]);
+        let h = e.add_table_ab(&ions, Layout::Aos);
+        (e, h)
+    };
+    let (mut e1, h1) = build();
+    let (mut e2, h2) = build();
+    let sp = vec![PseudoSpecies {
+        channels: vec![PpChannel {
+            l: 0,
+            v0: 3.0,
+            alpha: 0.7,
+        }],
+        r_cut: 1.6,
+    }];
+    let n1 = NonLocalPP::new(h1, &ions, sp.clone());
+    let n2 = NonLocalPP::new(h2, &ions, sp);
+    let mut psi = TrialWaveFunction::new();
+    let a = n1.evaluate(&mut e1, &mut psi, &mut StdRng::seed_from_u64(1));
+    let b = n2.evaluate(&mut e2, &mut psi, &mut StdRng::seed_from_u64(999));
+    assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+}
+
+#[test]
+fn ab_layouts_give_same_nlpp() {
+    let ions = ions();
+    let pos = vec![TinyVector([5.7, 5.1, 5.2]), TinyVector([4.4, 4.9, 5.0])];
+    let sp = vec![PseudoSpecies {
+        channels: vec![PpChannel {
+            l: 0,
+            v0: 1.5,
+            alpha: 0.9,
+        }],
+        r_cut: 1.8,
+    }];
+    let mut e_a = electrons(pos.clone());
+    let h_a = e_a.add_table_ab(&ions, Layout::Aos);
+    let mut e_s = electrons(pos);
+    let h_s = e_s.add_table_ab(&ions, Layout::Soa);
+    let n_a = NonLocalPP::new(h_a, &ions, sp.clone());
+    let n_s = NonLocalPP::new(h_s, &ions, sp);
+    let mut psi = TrialWaveFunction::new();
+    let a = n_a.evaluate(&mut e_a, &mut psi, &mut StdRng::seed_from_u64(4));
+    let s = n_s.evaluate(&mut e_s, &mut psi, &mut StdRng::seed_from_u64(4));
+    assert!((a - s).abs() < 1e-10);
+}

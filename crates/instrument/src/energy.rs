@@ -1,0 +1,136 @@
+//! Constant-power energy model (substitute for turbostat RAPL, Fig. 10).
+//!
+//! The paper measures package+DRAM power with turbostat at 5 s intervals and
+//! finds it *flat* (210-215 W on KNL) during the DMC phase for both Ref and
+//! Current code — its conclusion is therefore "energy reduction equals the
+//! speedup". Without RAPL access we model exactly that: a configurable
+//! constant power per phase integrated over *measured* wall time. The time
+//! axis is real; only the wattage is modeled.
+
+/// A named execution phase with measured duration.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// Phase name (e.g. "init", "warmup", "DMC").
+    pub name: String,
+    /// Measured wall-clock duration in seconds.
+    pub seconds: f64,
+    /// Modeled average power draw in watts during this phase.
+    pub watts: f64,
+}
+
+/// Energy model: an ordered list of phases.
+#[derive(Clone, Debug, Default)]
+pub struct EnergyModel {
+    phases: Vec<Phase>,
+}
+
+/// Default modeled DMC-phase power in watts (paper: 210-215 W on KNL).
+pub const DEFAULT_DMC_WATTS: f64 = 212.0;
+
+/// Default modeled initialization-phase power in watts (lower activity).
+pub const DEFAULT_INIT_WATTS: f64 = 150.0;
+
+impl EnergyModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a phase with measured duration and modeled wattage.
+    pub fn add_phase(&mut self, name: &str, seconds: f64, watts: f64) {
+        self.phases.push(Phase {
+            name: name.to_string(),
+            seconds,
+            watts,
+        });
+    }
+
+    /// Total modeled energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds * p.watts).sum()
+    }
+
+    /// Total wall time across phases in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Energy in joules excluding phases whose names match `exclude` — the
+    /// paper excludes init and warmup when comparing energy to speedup.
+    pub fn joules_excluding(&self, exclude: &[&str]) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| !exclude.contains(&p.name.as_str()))
+            .map(|p| p.seconds * p.watts)
+            .sum()
+    }
+
+    /// Sampled power trace `(time_s, watts)` at `interval` seconds,
+    /// mimicking turbostat's 5-second sampling in Fig. 10.
+    pub fn power_trace(&self, interval: f64) -> Vec<(f64, f64)> {
+        assert!(interval > 0.0);
+        let mut trace = Vec::new();
+        let total = self.total_seconds();
+        let mut t = 0.0;
+        while t <= total {
+            // Find the active phase at time t.
+            let mut acc = 0.0;
+            let mut watts = self.phases.last().map(|p| p.watts).unwrap_or(0.0);
+            for p in &self.phases {
+                if t < acc + p.seconds {
+                    watts = p.watts;
+                    break;
+                }
+                acc += p.seconds;
+            }
+            trace.push((t, watts));
+            t += interval;
+        }
+        trace
+    }
+
+    /// Phases recorded so far.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_integrates_phases() {
+        let mut m = EnergyModel::new();
+        m.add_phase("init", 10.0, 150.0);
+        m.add_phase("DMC", 100.0, 212.0);
+        assert!((m.total_joules() - (1500.0 + 21200.0)).abs() < 1e-9);
+        assert!((m.joules_excluding(&["init"]) - 21200.0).abs() < 1e-9);
+        assert_eq!(m.total_seconds(), 110.0);
+    }
+
+    #[test]
+    fn energy_ratio_equals_time_ratio_at_constant_power() {
+        // The paper's core observation: flat power makes energy ~ time.
+        let mut fast = EnergyModel::new();
+        fast.add_phase("DMC", 50.0, DEFAULT_DMC_WATTS);
+        let mut slow = EnergyModel::new();
+        slow.add_phase("DMC", 200.0, DEFAULT_DMC_WATTS);
+        let speedup = 200.0 / 50.0;
+        let energy_ratio = slow.total_joules() / fast.total_joules();
+        assert!((energy_ratio - speedup).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_steps_between_phases() {
+        let mut m = EnergyModel::new();
+        m.add_phase("init", 10.0, 100.0);
+        m.add_phase("DMC", 20.0, 200.0);
+        let trace = m.power_trace(5.0);
+        assert_eq!(trace[0], (0.0, 100.0));
+        assert_eq!(trace[1], (5.0, 100.0));
+        assert_eq!(trace[2], (10.0, 200.0));
+        assert_eq!(trace.last().unwrap().1, 200.0);
+        assert_eq!(trace.len(), 7); // t = 0,5,...,30
+    }
+}

@@ -1,0 +1,33 @@
+//! # qmc-instrument
+//!
+//! Measurement infrastructure replacing the paper's tooling stack:
+//!
+//! * [`timer`] — per-kernel scoped timers for the hot-spot profiles of
+//!   Fig. 2 / Fig. 7 (QMCPACK timer framework / Intel VTune).
+//! * FLOP/byte counters on the same profile for the roofline's arithmetic
+//!   intensity axis (Intel Advisor).
+//! * [`roofline`] — a microbenchmark probe of the host's compute and
+//!   bandwidth ceilings.
+//! * [`memory`] — an allocation ledger plus process RSS for the footprint
+//!   studies of Fig. 8 / Fig. 9.
+//! * [`energy`] — the constant-power energy model for Fig. 10.
+
+// Indexed loops over multiple parallel slices are the deliberate idiom in
+// the SIMD kernels (mirrors the paper's C++ and keeps the auto-vectorizer's
+// job obvious); iterator zips would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod energy;
+pub mod ftz;
+pub mod memory;
+pub mod roofline;
+pub mod timer;
+
+pub use ftz::enable_ftz;
+pub use energy::{EnergyModel, Phase, DEFAULT_DMC_WATTS, DEFAULT_INIT_WATTS};
+pub use memory::{current_rss_bytes, MemoryLedger};
+pub use roofline::{probe_machine, RooflineMachine};
+pub use timer::{
+    add_flops_bytes, drain_thread_profile, time_kernel, Kernel, KernelStats, Profile, ALL_KERNELS,
+    NUM_KERNELS,
+};

@@ -1,0 +1,144 @@
+//! Roofline machine probe (replaces Intel Advisor in Fig. 7).
+//!
+//! The paper's roofline analysis locates each kernel in the (arithmetic
+//! intensity, GFLOP/s) plane against the machine's compute and bandwidth
+//! ceilings. We measure the host's ceilings directly: a FMA-saturating
+//! microkernel for peak FLOP/s (single and double precision) and a large
+//! streaming triad for memory bandwidth.
+
+use std::time::Instant;
+
+/// Measured machine ceilings for the roofline plot.
+#[derive(Clone, Copy, Debug)]
+pub struct RooflineMachine {
+    /// Peak single-precision GFLOP/s of one thread.
+    pub peak_sp_gflops: f64,
+    /// Peak double-precision GFLOP/s of one thread.
+    pub peak_dp_gflops: f64,
+    /// Streaming (triad) bandwidth in GB/s of one thread.
+    pub bandwidth_gbs: f64,
+}
+
+impl RooflineMachine {
+    /// Attainable GFLOP/s at arithmetic intensity `ai` (FLOP/byte) in the
+    /// given precision: `min(peak, ai * bandwidth)`.
+    pub fn attainable(&self, ai: f64, single_precision: bool) -> f64 {
+        let peak = if single_precision {
+            self.peak_sp_gflops
+        } else {
+            self.peak_dp_gflops
+        };
+        peak.min(ai * self.bandwidth_gbs)
+    }
+
+    /// Ridge point (AI where the machine turns compute bound).
+    pub fn ridge(&self, single_precision: bool) -> f64 {
+        let peak = if single_precision {
+            self.peak_sp_gflops
+        } else {
+            self.peak_dp_gflops
+        };
+        peak / self.bandwidth_gbs
+    }
+}
+
+#[inline(never)]
+fn fma_loop_f32(iters: usize) -> f32 {
+    // 8 independent accumulator chains to fill FMA pipelines.
+    let mut acc = [1.0f32, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7];
+    let a = 1.000_000_1f32;
+    let b = 1e-9f32;
+    for _ in 0..iters {
+        for x in acc.iter_mut() {
+            *x = x.mul_add(a, b);
+        }
+    }
+    acc.iter().sum()
+}
+
+#[inline(never)]
+fn fma_loop_f64(iters: usize) -> f64 {
+    let mut acc = [1.0f64, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7];
+    let a = 1.000_000_000_1f64;
+    let b = 1e-15f64;
+    for _ in 0..iters {
+        for x in acc.iter_mut() {
+            *x = x.mul_add(a, b);
+        }
+    }
+    acc.iter().sum()
+}
+
+#[inline(never)]
+fn triad(a: &mut [f64], b: &[f64], c: &[f64]) {
+    for i in 0..a.len() {
+        a[i] = b[i] + 0.5 * c[i];
+    }
+}
+
+/// Probes the host machine's single-thread roofline ceilings. Takes a few
+/// hundred milliseconds; run once per harness invocation.
+pub fn probe_machine() -> RooflineMachine {
+    // FLOP peaks: 2 FLOP per FMA, 8 chains.
+    let iters = 4_000_000usize;
+    let t = Instant::now();
+    let s = fma_loop_f32(iters);
+    let dt32 = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let d = fma_loop_f64(iters);
+    let dt64 = t.elapsed().as_secs_f64();
+    std::hint::black_box((s, d));
+    let flops = (iters * 8 * 2) as f64;
+    // Scalar loop measured; scale optimistically by assuming the vector
+    // units widen it (we report the scalar measurement: a conservative
+    // ceiling that still orders kernels correctly).
+    let peak_sp = flops / dt32 / 1e9;
+    let peak_dp = flops / dt64 / 1e9;
+
+    // Bandwidth: triad over an array far larger than L3.
+    let n = 1 << 24; // 16M doubles = 128 MiB per array
+    let b = vec![1.0f64; n];
+    let c = vec![2.0f64; n];
+    let mut a = vec![0.0f64; n];
+    triad(&mut a, &b, &c); // warm up / fault pages
+    let t = Instant::now();
+    triad(&mut a, &b, &c);
+    let dt = t.elapsed().as_secs_f64();
+    std::hint::black_box(a[n / 2]);
+    // 3 arrays * 8 bytes moved per element (write-allocate ignored).
+    let bw = (3 * n * 8) as f64 / dt / 1e9;
+
+    RooflineMachine {
+        peak_sp_gflops: peak_sp,
+        peak_dp_gflops: peak_dp,
+        bandwidth_gbs: bw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attainable_is_min_of_ceilings() {
+        let m = RooflineMachine {
+            peak_sp_gflops: 100.0,
+            peak_dp_gflops: 50.0,
+            bandwidth_gbs: 10.0,
+        };
+        assert_eq!(m.attainable(0.5, true), 5.0);
+        assert_eq!(m.attainable(100.0, true), 100.0);
+        assert_eq!(m.attainable(100.0, false), 50.0);
+        assert_eq!(m.ridge(true), 10.0);
+        assert_eq!(m.ridge(false), 5.0);
+    }
+
+    #[test]
+    #[ignore = "slow hardware probe; run explicitly"]
+    fn probe_returns_positive_ceilings() {
+        let m = probe_machine();
+        assert!(m.peak_sp_gflops > 0.1);
+        assert!(m.peak_dp_gflops > 0.1);
+        assert!(m.bandwidth_gbs > 0.1);
+    }
+}

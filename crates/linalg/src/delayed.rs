@@ -1,0 +1,335 @@
+//! Delayed determinant-inverse updates (Woodbury identity).
+//!
+//! §8.4 of the paper identifies `DetUpdate` as the emerging bottleneck and
+//! points to delayed-update schemes (McDaniel et al., the paper's ref. 30) based on the
+//! Woodbury matrix identity: accumulate up to `delay` accepted row
+//! replacements and apply them to the inverse in one blocked (BLAS3-shaped)
+//! flush, while answering ratio queries against the *virtually updated*
+//! inverse in `O(delay * N)`.
+//!
+//! Derivation used here (transposed-inverse storage `M = (A^{-1})^T`, base
+//! inverse kept unflushed): after accepting replacements of distinct rows
+//! `k_a` by vectors `v_a` (a = 0..m), Woodbury gives for any row `r` of the
+//! current transposed inverse
+//!
+//! ```text
+//! M'.row(r) = M.row(r) - sum_a y[a] * M.row(k_a),   S y = c,
+//! S[a][b]   = dot(M.row(k_b), v_a),
+//! c[a]      = dot(M.row(r), v_a) - [k_a == r]
+//! ```
+//!
+//! so a ratio costs one `O(mN)` correction plus a dot product, and the flush
+//! applies the same correction to all rows with three `m x N` GEMMs.
+
+use crate::blas::{axpy, dot};
+use crate::lu::LuFactor;
+use qmc_containers::{Matrix, Real};
+
+/// Inverse of a Slater matrix with delayed (Woodbury) row updates.
+pub struct DelayedInverse<T: Real> {
+    /// Transposed inverse of the *base* matrix (excludes pending updates).
+    minv_t: Matrix<T>,
+    /// Maximum number of accepted updates buffered before a flush.
+    delay: usize,
+    /// Rows replaced in the current window (distinct by construction).
+    ks: Vec<usize>,
+    /// Accepted replacement rows, one per entry of `ks`.
+    vs: Matrix<T>,
+    /// Window Gram matrix `S[a][b] = dot(M.row(k_b), v_a)` in f64.
+    s: Matrix<f64>,
+}
+
+impl<T: Real> DelayedInverse<T> {
+    /// Wraps an existing transposed inverse with a delay window of `delay`
+    /// accepted moves (`delay == 1` degenerates to rank-1 behaviour).
+    pub fn new(minv_t: Matrix<T>, delay: usize) -> Self {
+        assert!(delay >= 1, "delay must be at least 1");
+        assert_eq!(minv_t.rows(), minv_t.cols());
+        let n = minv_t.rows();
+        Self {
+            minv_t,
+            delay,
+            ks: Vec::with_capacity(delay),
+            vs: Matrix::zeros(delay, n),
+            s: Matrix::zeros(delay, delay),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.minv_t.rows()
+    }
+
+    /// Number of accepted-but-unflushed updates.
+    pub fn pending(&self) -> usize {
+        self.ks.len()
+    }
+
+    /// Computes row `r` of the *current* (virtually updated) transposed
+    /// inverse into `out`. `O(pending * N)`.
+    pub fn inv_row(&self, r: usize, out: &mut [T]) {
+        let n = self.n();
+        assert_eq!(out.len(), n);
+        out.copy_from_slice(self.minv_t.row(r));
+        let m = self.ks.len();
+        if m == 0 {
+            return;
+        }
+        let mut c = vec![0.0f64; m];
+        for (a, ca) in c.iter_mut().enumerate() {
+            *ca = dot(self.minv_t.row(r), self.vs.row(a)).to_f64();
+            if self.ks[a] == r {
+                *ca -= 1.0;
+            }
+        }
+        let y = self.solve_window(&c);
+        for (a, &ya) in y.iter().enumerate() {
+            axpy(T::from_f64(-ya), self.minv_t.row(self.ks[a]), out);
+        }
+    }
+
+    /// Determinant ratio for replacing row `r` with `v`, against the current
+    /// virtually updated inverse. Also returns the inverse row so callers
+    /// can compute gradient ratios without a second correction pass.
+    pub fn ratio_with_inv_row(&self, r: usize, v: &[T], inv_row: &mut [T]) -> T {
+        self.inv_row(r, inv_row);
+        dot(inv_row, v)
+    }
+
+    /// Accepts the replacement of row `r` by `v`. Flushes automatically when
+    /// the window fills or when `r` is already in the window (same-row
+    /// updates cannot share a Woodbury window).
+    pub fn accept(&mut self, r: usize, v: &[T]) {
+        assert_eq!(v.len(), self.n());
+        if self.ks.len() == self.delay || self.ks.contains(&r) {
+            self.flush();
+        }
+        let m = self.ks.len();
+        // Extend the Gram matrix: S[a][m] and S[m][b].
+        for a in 0..m {
+            self.s[(a, m)] = dot(self.minv_t.row(r), self.vs.row(a)).to_f64();
+            self.s[(m, a)] = dot(self.minv_t.row(self.ks[a]), v).to_f64();
+        }
+        self.s[(m, m)] = dot(self.minv_t.row(r), v).to_f64();
+        self.vs.row_mut(m).copy_from_slice(v);
+        self.ks.push(r);
+        if self.ks.len() == self.delay {
+            self.flush();
+        }
+    }
+
+    /// Applies all pending updates to the base inverse with blocked
+    /// (GEMM-shaped) arithmetic and clears the window.
+    pub fn flush(&mut self) {
+        let m = self.ks.len();
+        if m == 0 {
+            return;
+        }
+        let n = self.n();
+
+        // W[a][j] = dot(M.row(j), v_a) - [k_a == j]   (m x N)
+        let mut w = Matrix::<f64>::zeros(m, n);
+        for a in 0..m {
+            let va = self.vs.row(a);
+            let wa = w.row_mut(a);
+            for j in 0..n {
+                wa[j] = dot(self.minv_t.row(j), va).to_f64();
+            }
+            wa[self.ks[a]] -= 1.0;
+        }
+
+        // D = S^{-1} W  (m x N), solved column-block-wise via LU of S.
+        let s_small = Matrix::from_fn(m, m, |a, b| self.s[(a, b)]);
+        let lu = LuFactor::new(&s_small).expect("delayed-update window matrix singular");
+        let mut d = Matrix::<f64>::zeros(m, n);
+        let mut col = vec![0.0f64; m];
+        for j in 0..n {
+            for a in 0..m {
+                col[a] = w[(a, j)];
+            }
+            lu.solve_in_place(&mut col);
+            for a in 0..m {
+                d[(a, j)] = col[a];
+            }
+        }
+
+        // K[a] = copy of base M.row(k_a) before modification.
+        let mut k = Matrix::<T>::zeros(m, n);
+        for a in 0..m {
+            k.row_mut(a).copy_from_slice(self.minv_t.row(self.ks[a]));
+        }
+
+        // M.row(j) -= sum_a D[a][j] * K[a]
+        for j in 0..n {
+            let row = self.minv_t.row_mut(j);
+            for a in 0..m {
+                // Split borrow: `k` and `minv_t` are distinct matrices.
+                let coeff = T::from_f64(-d[(a, j)]);
+                axpy(coeff, k.row(a), row);
+            }
+        }
+
+        self.ks.clear();
+    }
+
+    /// Flushed transposed inverse. Panics if updates are pending; call
+    /// [`Self::flush`] first.
+    pub fn minv_t(&self) -> &Matrix<T> {
+        assert!(self.ks.is_empty(), "pending delayed updates; flush first");
+        &self.minv_t
+    }
+
+    /// Replaces the base inverse (e.g. after a from-scratch recompute) and
+    /// discards any pending window.
+    pub fn reset(&mut self, minv_t: Matrix<T>) {
+        assert_eq!(minv_t.rows(), self.n());
+        self.minv_t = minv_t;
+        self.ks.clear();
+    }
+
+    fn solve_window(&self, c: &[f64]) -> Vec<f64> {
+        let m = c.len();
+        if m == 1 {
+            return vec![c[0] / self.s[(0, 0)]];
+        }
+        let s_small = Matrix::from_fn(m, m, |a, b| self.s[(a, b)]);
+        let lu = LuFactor::new(&s_small).expect("delayed-update window matrix singular");
+        let mut y = c.to_vec();
+        lu.solve_in_place(&mut y);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::updates::{det_ratio_row, sherman_morrison_update, transposed_inverse_log_det};
+
+    fn test_matrix(n: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        Matrix::from_fn(n, n, |i, j| next() + if i == j { 3.0 } else { 0.0 })
+    }
+
+    fn new_row(n: usize, k: usize, shift: f64) -> Vec<f64> {
+        (0..n)
+            .map(|j| 0.07 * (j as f64 + shift) + if j == k { 2.0 } else { 0.3 })
+            .collect()
+    }
+
+    #[test]
+    fn matches_sherman_morrison_through_window_boundaries() {
+        let n = 12;
+        let a = test_matrix(n, 7);
+        let (minv_t, _, _) = transposed_inverse_log_det(&a).unwrap();
+        let mut sm = minv_t.clone();
+        let mut delayed = DelayedInverse::new(minv_t, 4);
+
+        let mut inv_row = vec![0.0f64; n];
+        // Sweep: move every electron once, accepting most; window flushes
+        // inside the sweep (delay 4 < 12 moves).
+        for k in 0..n {
+            let v = new_row(n, k, k as f64);
+            let r_sm = det_ratio_row(&sm, k, &v);
+            let r_dl = delayed.ratio_with_inv_row(k, &v, &mut inv_row);
+            assert!(
+                (r_sm - r_dl).abs() < 1e-9 * r_sm.abs().max(1.0),
+                "k={k}: {r_sm} vs {r_dl}"
+            );
+            if k % 3 != 2 {
+                // accept
+                sherman_morrison_update(&mut sm, k, &v, r_sm);
+                delayed.accept(k, &v);
+            }
+        }
+        delayed.flush();
+        assert!(delayed.minv_t().max_abs_diff(&sm) < 1e-8);
+    }
+
+    #[test]
+    fn inv_row_mid_window_matches_rank1_chain() {
+        let n = 10;
+        let a = test_matrix(n, 11);
+        let (minv_t, _, _) = transposed_inverse_log_det(&a).unwrap();
+        let mut sm = minv_t.clone();
+        let mut delayed = DelayedInverse::new(minv_t, 8);
+
+        for k in [1usize, 4, 6] {
+            let v = new_row(n, k, 0.5);
+            let r = det_ratio_row(&sm, k, &v);
+            sherman_morrison_update(&mut sm, k, &v, r);
+            delayed.accept(k, &v);
+        }
+        assert_eq!(delayed.pending(), 3);
+        let mut row = vec![0.0f64; n];
+        for r in 0..n {
+            delayed.inv_row(r, &mut row);
+            for j in 0..n {
+                assert!(
+                    (row[j] - sm[(r, j)]).abs() < 1e-9,
+                    "row {r} col {j}: {} vs {}",
+                    row[j],
+                    sm[(r, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flush_against_lu_reinversion() {
+        let n = 8;
+        let mut a = test_matrix(n, 23);
+        let (minv_t, _, _) = transposed_inverse_log_det(&a).unwrap();
+        let mut delayed = DelayedInverse::new(minv_t, 3);
+        for k in [0usize, 5, 2, 7, 3] {
+            let v = new_row(n, k, 1.0 + k as f64);
+            delayed.accept(k, &v);
+            a.row_mut(k).copy_from_slice(&v);
+        }
+        delayed.flush();
+        let (fresh, _, _) = transposed_inverse_log_det(&a).unwrap();
+        assert!(delayed.minv_t().max_abs_diff(&fresh) < 1e-8);
+    }
+
+    #[test]
+    fn same_row_twice_forces_flush() {
+        let n = 6;
+        let a = test_matrix(n, 31);
+        let (minv_t, _, _) = transposed_inverse_log_det(&a).unwrap();
+        let mut delayed = DelayedInverse::new(minv_t, 4);
+        let v1 = new_row(n, 2, 0.0);
+        let v2 = new_row(n, 2, 9.0);
+        delayed.accept(2, &v1);
+        assert_eq!(delayed.pending(), 1);
+        delayed.accept(2, &v2); // must flush the first before buffering
+        assert_eq!(delayed.pending(), 1);
+        delayed.flush();
+
+        let mut a2 = a.clone();
+        a2.row_mut(2).copy_from_slice(&v2);
+        let (fresh, _, _) = transposed_inverse_log_det(&a2).unwrap();
+        assert!(delayed.minv_t().max_abs_diff(&fresh) < 1e-9);
+    }
+
+    #[test]
+    fn delay_one_equals_immediate_updates() {
+        let n = 5;
+        let a = test_matrix(n, 41);
+        let (minv_t, _, _) = transposed_inverse_log_det(&a).unwrap();
+        let mut sm = minv_t.clone();
+        let mut delayed = DelayedInverse::new(minv_t, 1);
+        for k in 0..n {
+            let v = new_row(n, k, k as f64 * 0.2);
+            let r = det_ratio_row(&sm, k, &v);
+            sherman_morrison_update(&mut sm, k, &v, r);
+            delayed.accept(k, &v);
+        }
+        delayed.flush();
+        assert!(delayed.minv_t().max_abs_diff(&sm) < 1e-10);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use qmc_containers::Matrix;
+use qmc_linalg::{
+    det_ratio_row, gemm, invert_with_log_det, sherman_morrison_update,
+    transposed_inverse_log_det, DelayedInverse, LuFactor,
+};
+
+fn diag_dominant(n: usize, vals: &[f64]) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |i, j| {
+        let v = vals[(i * n + j) % vals.len()] * 0.4;
+        v + if i == j { 3.0 } else { 0.0 }
+    })
+}
+
+proptest! {
+    /// LU inverse satisfies A * A^{-1} = I for random well-conditioned
+    /// matrices of any size.
+    #[test]
+    fn lu_inverse_identity(
+        n in 2usize..12,
+        vals in prop::collection::vec(-1.0f64..1.0, 16),
+    ) {
+        let a = diag_dominant(n, &vals);
+        let (inv, logdet, sign) = invert_with_log_det(&a).unwrap();
+        prop_assert!(logdet.is_finite());
+        prop_assert!(sign == 1.0 || sign == -1.0);
+        let mut prod = Matrix::<f64>::zeros(n, n);
+        gemm(1.0, &a, &inv, 0.0, &mut prod);
+        prop_assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-8);
+    }
+
+    /// LU solve satisfies A x = b.
+    #[test]
+    fn lu_solve_residual(
+        n in 2usize..10,
+        vals in prop::collection::vec(-1.0f64..1.0, 16),
+        b in prop::collection::vec(-5.0f64..5.0, 10),
+    ) {
+        let a = diag_dominant(n, &vals);
+        let lu = LuFactor::new(&a).unwrap();
+        let mut x: Vec<f64> = b[..n].to_vec();
+        lu.solve_in_place(&mut x);
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += a[(i, j)] * x[j];
+            }
+            prop_assert!((acc - b[i]).abs() < 1e-8, "row {i}");
+        }
+    }
+
+    /// A chain of Sherman-Morrison row updates reproduces a fresh LU
+    /// reinversion, for arbitrary update rows.
+    #[test]
+    fn sherman_morrison_chain_matches_lu(
+        n in 3usize..10,
+        vals in prop::collection::vec(-1.0f64..1.0, 16),
+        rows in prop::collection::vec((0.1f64..2.0, -0.5f64..0.5), 5),
+    ) {
+        let mut a = diag_dominant(n, &vals);
+        let (mut minv_t, _, _) = transposed_inverse_log_det(&a).unwrap();
+        for (idx, &(diag, off)) in rows.iter().enumerate() {
+            let k = idx % n;
+            let v: Vec<f64> = (0..n)
+                .map(|j| off * (j as f64 + 1.0).sin() + if j == k { 2.0 + diag } else { 0.3 })
+                .collect();
+            let r = det_ratio_row(&minv_t, k, &v);
+            prop_assume!(r.abs() > 1e-3); // skip near-singular updates
+            sherman_morrison_update(&mut minv_t, k, &v, r);
+            a.row_mut(k).copy_from_slice(&v);
+        }
+        let (fresh, _, _) = transposed_inverse_log_det(&a).unwrap();
+        prop_assert!(minv_t.max_abs_diff(&fresh) < 1e-6);
+    }
+
+    /// The delayed (Woodbury) engine agrees with Sherman-Morrison for any
+    /// delay depth and accept pattern.
+    #[test]
+    fn delayed_equals_sherman_morrison(
+        n in 4usize..10,
+        delay in 1usize..6,
+        vals in prop::collection::vec(-1.0f64..1.0, 16),
+        accepts in prop::collection::vec(any::<bool>(), 8),
+    ) {
+        let a = diag_dominant(n, &vals);
+        let (minv_t, _, _) = transposed_inverse_log_det(&a).unwrap();
+        let mut sm = minv_t.clone();
+        let mut dl = DelayedInverse::new(minv_t, delay);
+        let mut inv_row = vec![0.0f64; n];
+        for (step, &acc) in accepts.iter().enumerate() {
+            let k = step % n;
+            let v: Vec<f64> = (0..n)
+                .map(|j| 0.1 * ((j + step) as f64).cos() + if j == k { 2.5 } else { 0.4 })
+                .collect();
+            let r_sm = det_ratio_row(&sm, k, &v);
+            let r_dl = dl.ratio_with_inv_row(k, &v, &mut inv_row);
+            prop_assert!((r_sm - r_dl).abs() < 1e-8 * (1.0 + r_sm.abs()));
+            if acc {
+                sherman_morrison_update(&mut sm, k, &v, r_sm);
+                dl.accept(k, &v);
+            }
+        }
+        dl.flush();
+        prop_assert!(dl.minv_t().max_abs_diff(&sm) < 1e-7);
+    }
+
+    /// gemm respects the identity and associativity with vectors.
+    #[test]
+    fn gemm_identity(
+        n in 2usize..8,
+        vals in prop::collection::vec(-2.0f64..2.0, 16),
+    ) {
+        let a = diag_dominant(n, &vals);
+        let eye = Matrix::<f64>::identity(n);
+        let mut out = Matrix::<f64>::zeros(n, n);
+        gemm(1.0, &a, &eye, 0.0, &mut out);
+        prop_assert!(out.max_abs_diff(&a) < 1e-12);
+        gemm(1.0, &eye, &a, 0.0, &mut out);
+        prop_assert!(out.max_abs_diff(&a) < 1e-12);
+    }
+}

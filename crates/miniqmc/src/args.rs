@@ -1,0 +1,104 @@
+//! Minimal command-line option parsing shared by the miniapps
+//! ("Command-line options are used to change the problems for fast
+//! prototyping, debugging and analysis" — §7.1).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options: flags with values plus positional args.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+    /// The binary name (`argv[0]`).
+    pub program: String,
+}
+
+impl Options {
+    /// Parses `--key value`, `--key=value`, `-k value` and bare `--flag`
+    /// arguments from an iterator (usually `std::env::args()`).
+    pub fn parse(mut args: impl Iterator<Item = String>) -> Self {
+        let program = args.next().unwrap_or_default();
+        let mut out = Self {
+            program,
+            ..Self::default()
+        };
+        let rest: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let a = &rest[i];
+            if let Some(stripped) = a.strip_prefix('-') {
+                let key = stripped.trim_start_matches('-').to_string();
+                if let Some((k, v)) = key.split_once('=') {
+                    out.values.insert(k.to_string(), v.to_string());
+                } else if i + 1 < rest.len() && !rest[i + 1].starts_with('-') {
+                    out.values.insert(key, rest[i + 1].clone());
+                    i += 1;
+                } else {
+                    out.flags.push(key);
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Convenience constructor from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args())
+    }
+
+    /// Value of `key` parsed as `T`, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Raw string value of `key`.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// True when the bare flag was given.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse(
+            std::iter::once("prog".to_string()).chain(args.iter().map(|s| s.to_string())),
+        )
+    }
+
+    #[test]
+    fn long_short_and_equals_forms() {
+        let o = parse(&["--nel", "64", "-i=10", "--verbose", "--layout", "soa"]);
+        assert_eq!(o.get("nel", 0usize), 64);
+        assert_eq!(o.get("i", 0usize), 10);
+        assert!(o.has_flag("verbose"));
+        assert_eq!(o.get_str("layout"), Some("soa"));
+        assert_eq!(o.program, "prog");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = parse(&[]);
+        assert_eq!(o.get("nel", 48usize), 48);
+        assert_eq!(o.get("tau", 0.01f64), 0.01);
+        assert!(!o.has_flag("verbose"));
+    }
+
+    #[test]
+    fn negative_numbers_are_not_eaten_as_flags() {
+        // `--shift -1.5`: the value starts with '-', so it becomes a flag;
+        // the documented way is `--shift=-1.5`.
+        let o = parse(&["--shift=-1.5"]);
+        assert_eq!(o.get("shift", 0.0f64), -1.5);
+    }
+}

@@ -1,0 +1,156 @@
+//! The full miniapp (§7.1): a DMC calculation with particle-by-particle
+//! updates and non-local pseudopotentials on a benchmark workload, for any
+//! code version of the paper's ladder. Prints throughput and the hot-spot
+//! profile.
+//!
+//! ```text
+//! miniqmc --benchmark nio32 --size scaled --code current \
+//!         --threads 4 --walkers 16 --steps 20 --tau 0.005
+//! ```
+
+use miniqmc::Options;
+use qmc_drivers::{initial_population, run_vmc, VmcParams};
+use qmc_workloads::{run_dmc_benchmark, Benchmark, CodeVersion, RunConfig, Size, Workload};
+
+fn parse_benchmark(s: &str) -> Benchmark {
+    match s.to_ascii_lowercase().as_str() {
+        "graphite" => Benchmark::Graphite,
+        "be64" | "be-64" => Benchmark::Be64,
+        "nio32" | "nio-32" => Benchmark::NiO32,
+        "nio64" | "nio-64" => Benchmark::NiO64,
+        other => panic!("unknown benchmark '{other}' (graphite|be64|nio32|nio64)"),
+    }
+}
+
+fn parse_code(s: &str) -> CodeVersion {
+    match s.to_ascii_lowercase().as_str() {
+        "ref" => CodeVersion::Ref,
+        "refmp" | "ref+mp" => CodeVersion::RefMp,
+        "soadp" | "soa" => CodeVersion::SoaDouble,
+        "current" => CodeVersion::Current,
+        other => {
+            if let Some(k) = other.strip_prefix("delayed") {
+                CodeVersion::CurrentDelayed(k.parse().unwrap_or(16))
+            } else {
+                panic!("unknown code version '{other}' (ref|refmp|soa|current|delayedK)")
+            }
+        }
+    }
+}
+
+fn main() {
+    let opts = Options::from_env();
+    if opts.has_flag("help") || opts.has_flag("h") {
+        println!(
+            "miniqmc: full QMC miniapp (paper §7.1)\n\
+             --benchmark graphite|be64|nio32|nio64 (default nio32)\n\
+             --size scaled|full (default scaled)\n\
+             --code ref|refmp|soa|current|delayedK (default current)\n\
+             --threads N --walkers N --steps N --warmup N --tau X --seed N\n\
+             --driver dmc|vmc (default dmc)"
+        );
+        return;
+    }
+    let benchmark = parse_benchmark(opts.get_str("benchmark").unwrap_or("nio32"));
+    let size = match opts.get_str("size").unwrap_or("scaled") {
+        "full" => Size::Full,
+        _ => Size::Scaled,
+    };
+    let code = parse_code(opts.get_str("code").unwrap_or("current"));
+    let cfg = RunConfig {
+        threads: opts.get("threads", 2usize),
+        walkers: opts.get("walkers", 8usize),
+        steps: opts.get("steps", 10usize),
+        warmup: opts.get("warmup", 2usize),
+        tau: opts.get("tau", 0.005f64),
+        seed: opts.get("seed", 42u64),
+    };
+
+    let workload = Workload::new(benchmark, size, cfg.seed);
+    println!(
+        "miniqmc: {} ({:?}), N = {} electrons, {} ions, {} orbitals/spin",
+        workload.spec.name,
+        size,
+        workload.num_electrons(),
+        workload.num_ions(),
+        workload.num_orbitals()
+    );
+    println!(
+        "code = {}, threads = {}, walkers = {}, steps = {} (+{} warmup), tau = {}",
+        code.label(),
+        cfg.threads,
+        cfg.walkers,
+        cfg.steps,
+        cfg.warmup,
+        cfg.tau
+    );
+
+    if opts.get_str("driver") == Some("vmc") {
+        run_vmc_mode(&workload, code, &cfg);
+        return;
+    }
+    let out = run_dmc_benchmark(&workload, code, &cfg);
+    println!();
+    println!(
+        "throughput       {:>12.2} samples/s   ({} samples in {:.3} s)",
+        out.throughput(),
+        out.samples,
+        out.seconds
+    );
+    println!(
+        "energy           {:>12.4} +- {:.4}  (tau_corr {:.1})",
+        out.energy.0, out.energy.1, out.energy.2
+    );
+    println!("acceptance       {:>12.3}", out.acceptance);
+    println!(
+        "DMC efficiency   {:>12.3e}  (kappa = 1/(sigma^2 tau_corr T_MC), §3)",
+        out.kappa()
+    );
+    println!(
+        "memory           walker {:.2} MiB, engine {:.2} MiB, spline table {:.2} MiB",
+        out.walker_bytes as f64 / (1 << 20) as f64,
+        out.engine_bytes as f64 / (1 << 20) as f64,
+        out.table_bytes as f64 / (1 << 20) as f64
+    );
+    println!();
+    println!("hot-spot profile (merged over threads):");
+    print!("{}", out.profile.to_table());
+}
+
+
+/// VMC mode: a single-engine variational run with per-block recompute.
+fn run_vmc_mode(workload: &Workload, code: CodeVersion, cfg: &RunConfig) {
+    let params = VmcParams {
+        blocks: (cfg.steps / 4).max(1),
+        steps_per_block: 4,
+        tau: cfg.tau.max(0.05),
+        measure_every: 1,
+    };
+    println!("driver = VMC: {} blocks x {} sweeps", params.blocks, params.steps_per_block);
+    macro_rules! go {
+        ($engine:expr) => {{
+            let mut engine = $engine;
+            let mut walkers =
+                initial_population(workload.initial_positions(), cfg.walkers, cfg.seed);
+            let t0 = std::time::Instant::now();
+            let res = run_vmc(&mut engine, &mut walkers, &params);
+            let secs = t0.elapsed().as_secs_f64();
+            let (e, err, tau_corr) = res.energy.blocking();
+            println!(
+                "VMC energy {:.4} +- {:.4} (tau_corr {:.1}), acceptance {:.3}",
+                e, err, tau_corr, res.acceptance
+            );
+            println!(
+                "throughput {:.2} sweeps/s ({} sweeps in {:.3} s)",
+                res.samples as f64 / secs,
+                res.samples,
+                secs
+            );
+        }};
+    }
+    if code.single_precision() {
+        go!(workload.build_engine_f32(code));
+    } else {
+        go!(workload.build_engine_f64(code));
+    }
+}

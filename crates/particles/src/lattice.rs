@@ -1,0 +1,371 @@
+//! Crystal lattice with periodic boundary conditions.
+//!
+//! Supercells are defined by three lattice vectors; positions convert
+//! between Cartesian and fractional coordinates, and displacements are
+//! reduced to the minimum image. Distance kernels use the fast
+//! orthorhombic path when the cell is diagonal (all bundled workloads use
+//! orthorhombic supercells; see DESIGN.md substitutions) and the general
+//! fractional-wrap path otherwise.
+
+use qmc_containers::{Pos, Real, TinyVector};
+
+/// A 3D periodic simulation cell.
+#[derive(Clone, Debug)]
+pub struct CrystalLattice<T: Real> {
+    /// Rows are the lattice vectors a1, a2, a3 (Cartesian, bohr).
+    a: [[T; 3]; 3],
+    /// Inverse of `a` (columns map Cartesian to fractional).
+    ainv: [[T; 3]; 3],
+    /// Cell volume.
+    volume: T,
+    /// True when the cell matrix is diagonal.
+    orthorhombic: bool,
+}
+
+impl<T: Real> CrystalLattice<T> {
+    /// Builds a lattice from three Cartesian lattice vectors (rows).
+    pub fn from_rows(a: [[f64; 3]; 3]) -> Self {
+        let det = a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1])
+            - a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0])
+            + a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+        assert!(det.abs() > 1e-12, "degenerate cell");
+        // Cofactor inverse.
+        let inv = [
+            [
+                (a[1][1] * a[2][2] - a[1][2] * a[2][1]) / det,
+                (a[0][2] * a[2][1] - a[0][1] * a[2][2]) / det,
+                (a[0][1] * a[1][2] - a[0][2] * a[1][1]) / det,
+            ],
+            [
+                (a[1][2] * a[2][0] - a[1][0] * a[2][2]) / det,
+                (a[0][0] * a[2][2] - a[0][2] * a[2][0]) / det,
+                (a[0][2] * a[1][0] - a[0][0] * a[1][2]) / det,
+            ],
+            [
+                (a[1][0] * a[2][1] - a[1][1] * a[2][0]) / det,
+                (a[0][1] * a[2][0] - a[0][0] * a[2][1]) / det,
+                (a[0][0] * a[1][1] - a[0][1] * a[1][0]) / det,
+            ],
+        ];
+        let orthorhombic = {
+            let mut ortho = true;
+            for i in 0..3 {
+                for j in 0..3 {
+                    if i != j && a[i][j].abs() > 1e-12 {
+                        ortho = false;
+                    }
+                }
+            }
+            ortho
+        };
+        let cast3 = |m: [[f64; 3]; 3]| {
+            [
+                [
+                    T::from_f64(m[0][0]),
+                    T::from_f64(m[0][1]),
+                    T::from_f64(m[0][2]),
+                ],
+                [
+                    T::from_f64(m[1][0]),
+                    T::from_f64(m[1][1]),
+                    T::from_f64(m[1][2]),
+                ],
+                [
+                    T::from_f64(m[2][0]),
+                    T::from_f64(m[2][1]),
+                    T::from_f64(m[2][2]),
+                ],
+            ]
+        };
+        Self {
+            a: cast3(a),
+            ainv: cast3(inv),
+            volume: T::from_f64(det.abs()),
+            orthorhombic,
+        }
+    }
+
+    /// Orthorhombic box with edge lengths `l`.
+    pub fn orthorhombic(l: [f64; 3]) -> Self {
+        Self::from_rows([[l[0], 0.0, 0.0], [0.0, l[1], 0.0], [0.0, 0.0, l[2]]])
+    }
+
+    /// Cubic box with edge `l`.
+    pub fn cubic(l: f64) -> Self {
+        Self::orthorhombic([l, l, l])
+    }
+
+    /// Cell volume.
+    #[inline]
+    pub fn volume(&self) -> T {
+        self.volume
+    }
+
+    /// True when the cell matrix is diagonal.
+    #[inline]
+    pub fn is_orthorhombic(&self) -> bool {
+        self.orthorhombic
+    }
+
+    /// Lattice vector rows.
+    #[inline]
+    pub fn rows(&self) -> &[[T; 3]; 3] {
+        &self.a
+    }
+
+    /// Diagonal edge lengths; panics for non-orthorhombic cells.
+    pub fn edges(&self) -> [T; 3] {
+        assert!(self.orthorhombic);
+        [self.a[0][0], self.a[1][1], self.a[2][2]]
+    }
+
+    /// Cartesian -> fractional coordinates.
+    #[inline]
+    pub fn to_frac(&self, r: Pos<T>) -> Pos<T> {
+        TinyVector([
+            r[0] * self.ainv[0][0] + r[1] * self.ainv[1][0] + r[2] * self.ainv[2][0],
+            r[0] * self.ainv[0][1] + r[1] * self.ainv[1][1] + r[2] * self.ainv[2][1],
+            r[0] * self.ainv[0][2] + r[1] * self.ainv[1][2] + r[2] * self.ainv[2][2],
+        ])
+    }
+
+    /// Fractional -> Cartesian coordinates.
+    #[inline]
+    pub fn to_cart(&self, f: Pos<T>) -> Pos<T> {
+        TinyVector([
+            f[0] * self.a[0][0] + f[1] * self.a[1][0] + f[2] * self.a[2][0],
+            f[0] * self.a[0][1] + f[1] * self.a[1][1] + f[2] * self.a[2][1],
+            f[0] * self.a[0][2] + f[1] * self.a[1][2] + f[2] * self.a[2][2],
+        ])
+    }
+
+    /// Gradient transform: converts a gradient w.r.t. fractional
+    /// coordinates to Cartesian (`g_cart = A^{-1} applied appropriately`).
+    #[inline]
+    pub fn frac_grad_to_cart(&self, g: Pos<T>) -> Pos<T> {
+        // x_cart = f . A  =>  d/dx_cart = (A^{-1})_{cart,frac} d/df
+        TinyVector([
+            g[0] * self.ainv[0][0] + g[1] * self.ainv[0][1] + g[2] * self.ainv[0][2],
+            g[0] * self.ainv[1][0] + g[1] * self.ainv[1][1] + g[2] * self.ainv[1][2],
+            g[0] * self.ainv[2][0] + g[1] * self.ainv[2][1] + g[2] * self.ainv[2][2],
+        ])
+    }
+
+    /// Laplacian transform: given the fractional-coordinate Hessian packed
+    /// `[xx,xy,xz,yy,yz,zz]`, returns the Cartesian Laplacian
+    /// `sum_c d^2/dx_c^2 = sum_{ab} (A^{-1} A^{-T})_{ab} H_frac[ab]`.
+    #[inline]
+    pub fn frac_hess_to_cart_laplacian(&self, h: [T; 6]) -> T {
+        // metric[a][b] = sum_c ainv[a'][?]: d f_a / d x_c = ainv[c][a]
+        let mut metric = [[T::ZERO; 3]; 3];
+        for a in 0..3 {
+            for b in 0..3 {
+                let mut acc = T::ZERO;
+                for c in 0..3 {
+                    acc += self.ainv[c][a] * self.ainv[c][b];
+                }
+                metric[a][b] = acc;
+            }
+        }
+        let hm = [[h[0], h[1], h[2]], [h[1], h[3], h[4]], [h[2], h[4], h[5]]];
+        let mut lap = T::ZERO;
+        for a in 0..3 {
+            for b in 0..3 {
+                lap += metric[a][b] * hm[a][b];
+            }
+        }
+        lap
+    }
+
+    /// Minimum-image displacement of `dr` (fast fractional wrap). Exact for
+    /// orthorhombic cells and for displacements within the inscribed sphere
+    /// of general cells.
+    #[inline]
+    pub fn min_image(&self, dr: Pos<T>) -> Pos<T> {
+        if self.orthorhombic {
+            let mut out = dr;
+            for d in 0..3 {
+                let l = self.a[d][d];
+                // round-to-nearest via floor(x + 0.5)
+                let v = out[d];
+                out[d] = v - l * (v / l + T::HALF).floor();
+            }
+            out
+        } else {
+            let mut f = self.to_frac(dr);
+            for d in 0..3 {
+                let v = f[d];
+                f[d] = v - (v + T::HALF).floor();
+            }
+            self.to_cart(f)
+        }
+    }
+
+    /// Exact minimum image via a 27-image search (reference for tests).
+    pub fn min_image_exact(&self, dr: Pos<T>) -> Pos<T> {
+        let base = self.min_image(dr);
+        let mut best = base;
+        let mut best_d = base.norm2();
+        for i in -1i32..=1 {
+            for j in -1i32..=1 {
+                for k in -1i32..=1 {
+                    let shift = TinyVector([
+                        T::from_f64(i as f64) * self.a[0][0]
+                            + T::from_f64(j as f64) * self.a[1][0]
+                            + T::from_f64(k as f64) * self.a[2][0],
+                        T::from_f64(i as f64) * self.a[0][1]
+                            + T::from_f64(j as f64) * self.a[1][1]
+                            + T::from_f64(k as f64) * self.a[2][1],
+                        T::from_f64(i as f64) * self.a[0][2]
+                            + T::from_f64(j as f64) * self.a[1][2]
+                            + T::from_f64(k as f64) * self.a[2][2],
+                    ]);
+                    let cand = base + shift;
+                    let d = cand.norm2();
+                    if d < best_d {
+                        best_d = d;
+                        best = cand;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Wraps a position into the primary cell `[0, L)^3` (fractionally).
+    pub fn wrap_into_cell(&self, r: Pos<T>) -> Pos<T> {
+        let mut f = self.to_frac(r);
+        for d in 0..3 {
+            let v = f[d];
+            f[d] = v - v.floor();
+        }
+        self.to_cart(f)
+    }
+
+    /// Largest cutoff radius guaranteed consistent with minimum image: half
+    /// the smallest distance between opposite cell faces.
+    pub fn simulation_cell_radius(&self) -> T {
+        let mut rmin = f64::INFINITY;
+        let a = self.a;
+        for i in 0..3 {
+            let j = (i + 1) % 3;
+            let k = (i + 2) % 3;
+            // |a_j x a_k|
+            let cx = a[j][1].to_f64() * a[k][2].to_f64() - a[j][2].to_f64() * a[k][1].to_f64();
+            let cy = a[j][2].to_f64() * a[k][0].to_f64() - a[j][0].to_f64() * a[k][2].to_f64();
+            let cz = a[j][0].to_f64() * a[k][1].to_f64() - a[j][1].to_f64() * a[k][0].to_f64();
+            let area = (cx * cx + cy * cy + cz * cz).sqrt();
+            rmin = rmin.min(self.volume.to_f64() / area);
+        }
+        T::from_f64(0.5 * rmin)
+    }
+
+    /// Casts the lattice to another precision.
+    pub fn cast<U: Real>(&self) -> CrystalLattice<U> {
+        let rows = [
+            [
+                self.a[0][0].to_f64(),
+                self.a[0][1].to_f64(),
+                self.a[0][2].to_f64(),
+            ],
+            [
+                self.a[1][0].to_f64(),
+                self.a[1][1].to_f64(),
+                self.a[1][2].to_f64(),
+            ],
+            [
+                self.a[2][0].to_f64(),
+                self.a[2][1].to_f64(),
+                self.a[2][2].to_f64(),
+            ],
+        ];
+        CrystalLattice::from_rows(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_roundtrip() {
+        let lat = CrystalLattice::<f64>::cubic(10.0);
+        assert!(lat.is_orthorhombic());
+        assert_eq!(lat.volume(), 1000.0);
+        let r = TinyVector([3.0, 7.5, 9.9]);
+        let f = lat.to_frac(r);
+        assert!((f[0] - 0.3).abs() < 1e-14);
+        let back = lat.to_cart(f);
+        assert!((back - r).norm() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_orthorhombic() {
+        let lat = CrystalLattice::<f64>::orthorhombic([10.0, 8.0, 6.0]);
+        let dr = TinyVector([9.0, -7.0, 3.5]);
+        let mi = lat.min_image(dr);
+        assert!((mi[0] - (-1.0)).abs() < 1e-12);
+        assert!((mi[1] - 1.0).abs() < 1e-12);
+        assert!((mi[2] - (-2.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_image_matches_exact_search_in_triclinic() {
+        let lat =
+            CrystalLattice::<f64>::from_rows([[8.0, 0.0, 0.0], [2.0, 7.0, 0.0], [1.0, 1.5, 9.0]]);
+        // Displacements inside the inscribed sphere: wrap equals exact.
+        let rc = lat.simulation_cell_radius();
+        let dr = TinyVector([rc * 0.4, rc * 0.3, -rc * 0.2]);
+        let a = lat.min_image(dr);
+        let b = lat.min_image_exact(dr);
+        assert!((a - b).norm() < 1e-10);
+        assert!(a.norm() <= dr.norm() + 1e-12);
+    }
+
+    #[test]
+    fn wrap_into_cell_bounds() {
+        let lat = CrystalLattice::<f64>::cubic(5.0);
+        let r = TinyVector([-1.0, 12.3, 4.9]);
+        let w = lat.wrap_into_cell(r);
+        for d in 0..3 {
+            assert!(w[d] >= 0.0 && w[d] < 5.0, "w[{d}] = {}", w[d]);
+        }
+        // Same fractional part.
+        assert!((w[0] - 4.0).abs() < 1e-12);
+        assert!((w[1] - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_radius_cubic() {
+        let lat = CrystalLattice::<f64>::cubic(10.0);
+        assert!((lat.simulation_cell_radius() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_transform_orthorhombic() {
+        let lat = CrystalLattice::<f64>::orthorhombic([2.0, 4.0, 8.0]);
+        // f = x/2 => df/dx = 1/2, so grad_frac (1,0,0) -> (0.5, 0, 0)
+        let g = lat.frac_grad_to_cart(TinyVector([1.0, 0.0, 0.0]));
+        assert!((g[0] - 0.5).abs() < 1e-14);
+        assert_eq!(g[1], 0.0);
+    }
+
+    #[test]
+    fn laplacian_transform_orthorhombic() {
+        let lat = CrystalLattice::<f64>::orthorhombic([2.0, 4.0, 8.0]);
+        // H_frac = diag(1,1,1) -> lap = 1/4 + 1/16 + 1/64
+        let lap = lat.frac_hess_to_cart_laplacian([1.0, 0.0, 0.0, 1.0, 0.0, 1.0]);
+        assert!((lap - (0.25 + 0.0625 + 0.015625)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn f32_cast_consistent() {
+        let lat = CrystalLattice::<f64>::orthorhombic([7.0, 9.0, 11.0]);
+        let lat32: CrystalLattice<f32> = lat.cast();
+        let dr64 = lat.min_image(TinyVector([6.5, -8.0, 5.0]));
+        let dr32 = lat32.min_image(TinyVector([6.5f32, -8.0, 5.0]));
+        for d in 0..3 {
+            assert!((dr64[d] - dr32[d] as f64).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The per-walker anonymous state buffer.
+//!
+//! QMCPACK's `Walker` carries "an anonymous Buffer to store internal state
+//! for fast PbyP updates" (Fig. 4): when a thread picks up a walker it
+//! restores the wavefunction's internal state (inverse matrices, Jastrow
+//! accumulators, ...) from the buffer instead of recomputing it, and writes
+//! it back after the sweep. The buffer is the dominant per-walker
+//! allocation, which is where the paper's `gamma (N_th + N_w) N^2` memory
+//! model and the `5N^2 -> 5N` Jastrow saving show up.
+//!
+//! Scalars that are precision-critical (log values, signs) are kept in a
+//! separate `f64` stream regardless of the kernel precision `T`.
+
+use qmc_containers::{Matrix, Real};
+
+/// Growable typed buffer with separate working-precision and double
+/// streams. Writing appends; reading consumes via internal cursors.
+#[derive(Clone, Debug, Default)]
+pub struct WalkerBuffer<T: Real> {
+    reals: Vec<T>,
+    doubles: Vec<f64>,
+    r_cursor: usize,
+    d_cursor: usize,
+}
+
+impl<T: Real> WalkerBuffer<T> {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self {
+            reals: Vec::new(),
+            doubles: Vec::new(),
+            r_cursor: 0,
+            d_cursor: 0,
+        }
+    }
+
+    /// Clears contents and cursors (before a fresh save).
+    pub fn clear(&mut self) {
+        self.reals.clear();
+        self.doubles.clear();
+        self.rewind();
+    }
+
+    /// Resets the read cursors (before a load).
+    pub fn rewind(&mut self) {
+        self.r_cursor = 0;
+        self.d_cursor = 0;
+    }
+
+    /// Appends a working-precision slice.
+    pub fn put_slice(&mut self, s: &[T]) {
+        self.reals.extend_from_slice(s);
+    }
+
+    /// Appends the logical region of a matrix row by row.
+    pub fn put_matrix(&mut self, m: &Matrix<T>) {
+        for i in 0..m.rows() {
+            self.reals.extend_from_slice(m.row(i));
+        }
+    }
+
+    /// Appends a double-precision scalar.
+    pub fn put_f64(&mut self, x: f64) {
+        self.doubles.push(x);
+    }
+
+    /// Reads a working-precision slice (panics on underrun).
+    pub fn get_slice(&mut self, out: &mut [T]) {
+        let end = self.r_cursor + out.len();
+        out.copy_from_slice(&self.reals[self.r_cursor..end]);
+        self.r_cursor = end;
+    }
+
+    /// Reads into the logical region of a matrix.
+    pub fn get_matrix(&mut self, m: &mut Matrix<T>) {
+        for i in 0..m.rows() {
+            let cols = m.cols();
+            let end = self.r_cursor + cols;
+            m.row_mut(i)
+                .copy_from_slice(&self.reals[self.r_cursor..end]);
+            self.r_cursor = end;
+        }
+    }
+
+    /// Reads a double-precision scalar.
+    pub fn get_f64(&mut self) -> f64 {
+        let x = self.doubles[self.d_cursor];
+        self.d_cursor += 1;
+        x
+    }
+
+    /// Total storage footprint in bytes (walker message size).
+    pub fn bytes(&self) -> usize {
+        self.reals.len() * std::mem::size_of::<T>() + self.doubles.len() * 8
+    }
+
+    /// True when all content has been consumed by reads.
+    pub fn fully_consumed(&self) -> bool {
+        self.r_cursor == self.reals.len() && self.d_cursor == self.doubles.len()
+    }
+
+    /// True when the working-precision stream has been fully consumed.
+    pub fn fully_consumed_reals(&self) -> bool {
+        self.r_cursor == self.reals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_slices_and_scalars() {
+        let mut b = WalkerBuffer::<f32>::new();
+        b.put_slice(&[1.0, 2.0, 3.0]);
+        b.put_f64(-7.25);
+        b.put_slice(&[4.0]);
+        b.rewind();
+        let mut s3 = [0.0f32; 3];
+        b.get_slice(&mut s3);
+        assert_eq!(s3, [1.0, 2.0, 3.0]);
+        assert_eq!(b.get_f64(), -7.25);
+        let mut s1 = [0.0f32; 1];
+        b.get_slice(&mut s1);
+        assert_eq!(s1, [4.0]);
+        assert!(b.fully_consumed());
+    }
+
+    #[test]
+    fn matrix_roundtrip_ignores_padding() {
+        let m = Matrix::<f64>::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        let mut b = WalkerBuffer::<f64>::new();
+        b.put_matrix(&m);
+        b.rewind();
+        let mut m2 = Matrix::<f64>::zeros(3, 5);
+        b.get_matrix(&mut m2);
+        assert_eq!(m.max_abs_diff(&m2), 0.0);
+    }
+
+    #[test]
+    fn bytes_reflect_precision() {
+        let mut b32 = WalkerBuffer::<f32>::new();
+        let mut b64 = WalkerBuffer::<f64>::new();
+        b32.put_slice(&[0.0; 100]);
+        b64.put_slice(&[0.0; 100]);
+        assert_eq!(b32.bytes() * 2, b64.bytes());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut b = WalkerBuffer::<f64>::new();
+        b.put_slice(&[1.0]);
+        b.put_f64(2.0);
+        b.clear();
+        assert_eq!(b.bytes(), 0);
+        assert!(b.fully_consumed());
+    }
+}

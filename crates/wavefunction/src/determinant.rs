@@ -1,0 +1,436 @@
+//! Slater (Dirac) determinant component.
+//!
+//! Implements the determinant part of Eq. 2: `D = det|A|` with
+//! `A[i][j] = phi_j(r_i)` over one spin's electrons. Ratios use the matrix
+//! determinant lemma (Eq. 6) as a contiguous dot against the transposed
+//! inverse; accepted moves update the inverse with Sherman–Morrison (the
+//! baseline `DetUpdate` kernel) or with the delayed Woodbury engine of
+//! §8.4. The inverse is recomputed from scratch in double precision every
+//! `recompute_period` accepted sweeps to bound mixed-precision drift
+//! (§7.2 of the paper, ref. 13).
+
+use crate::buffer::WalkerBuffer;
+use crate::spo::SpoSet;
+use crate::traits::WaveFunctionComponent;
+use qmc_containers::{AlignedVec, Matrix, Pos, Real, TinyVector};
+use qmc_instrument::{add_flops_bytes, time_kernel, Kernel};
+use qmc_linalg::{
+    det_ratio_row, sherman_morrison_update, transposed_inverse_log_det, DelayedInverse,
+};
+use qmc_particles::ParticleSet;
+
+/// Inverse-update algorithm selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DetUpdateMode {
+    /// Rank-1 Sherman–Morrison after every accepted move (baseline).
+    ShermanMorrison,
+    /// Delayed Woodbury updates with the given delay depth (§8.4).
+    Delayed(usize),
+}
+
+enum InverseEngine<T: Real> {
+    Direct(Matrix<T>),
+    Delayed(DelayedInverse<T>),
+}
+
+/// Default accepted-move recompute cadence, in units of sweeps (times
+/// `nel`): single-precision inverses drift fast enough that QMCPACK-style
+/// MP recomputes every few sweeps; double precision can go much longer.
+pub const DEFAULT_RECOMPUTE_SWEEPS_SP: usize = 8;
+/// Double-precision recompute cadence in sweeps.
+pub const DEFAULT_RECOMPUTE_SWEEPS_DP: usize = 64;
+
+/// A Dirac determinant over electrons `[first, first + nel)` using `nel`
+/// orbitals from an [`SpoSet`].
+pub struct DiracDeterminant<T: Real> {
+    spo: Box<dyn SpoSet<T>>,
+    first: usize,
+    nel: usize,
+    engine: InverseEngine<T>,
+    /// Slater matrix rows (`psiM`), kept current on accepts.
+    psi_m: Matrix<T>,
+    /// Orbital gradients per electron row (3 component matrices).
+    g_m: [Matrix<T>; 3],
+    /// Orbital Laplacians per electron row.
+    l_m: Matrix<T>,
+    // Candidate buffers.
+    psi_v: AlignedVec<T>,
+    psi_g: AlignedVec<T>,
+    psi_l: AlignedVec<T>,
+    inv_row: AlignedVec<T>,
+    cur_ratio: f64,
+    cur_has_vgl: bool,
+    log_value: f64,
+    sign: f64,
+    accepted_since_recompute: usize,
+    recompute_period: usize,
+}
+
+impl<T: Real> DiracDeterminant<T> {
+    /// Builds a determinant for electrons `[first, first+nel)`. The SPO set
+    /// must provide at least `nel` orbitals; the first `nel` are used.
+    pub fn new(spo: Box<dyn SpoSet<T>>, first: usize, nel: usize, mode: DetUpdateMode) -> Self {
+        assert!(spo.size() >= nel, "need at least nel orbitals");
+        // Scratch slabs follow the SpoSet convention: stride == spo.size().
+        let ns = spo.size();
+        let engine = match mode {
+            DetUpdateMode::ShermanMorrison => InverseEngine::Direct(Matrix::zeros(nel, nel)),
+            DetUpdateMode::Delayed(k) => {
+                InverseEngine::Delayed(DelayedInverse::new(Matrix::zeros(nel, nel), k.max(1)))
+            }
+        };
+        Self {
+            spo,
+            first,
+            nel,
+            engine,
+            psi_m: Matrix::zeros(nel, nel),
+            g_m: [
+                Matrix::zeros(nel, nel),
+                Matrix::zeros(nel, nel),
+                Matrix::zeros(nel, nel),
+            ],
+            l_m: Matrix::zeros(nel, nel),
+            psi_v: AlignedVec::zeros(ns),
+            psi_g: AlignedVec::zeros(3 * ns),
+            psi_l: AlignedVec::zeros(ns),
+            inv_row: AlignedVec::zeros(nel),
+            cur_ratio: 1.0,
+            cur_has_vgl: false,
+            log_value: 0.0,
+            sign: 1.0,
+            accepted_since_recompute: 0,
+            recompute_period: nel
+                * if std::mem::size_of::<T>() <= 4 {
+                    DEFAULT_RECOMPUTE_SWEEPS_SP
+                } else {
+                    DEFAULT_RECOMPUTE_SWEEPS_DP
+                },
+        }
+    }
+
+    /// Sets the double-precision recompute cadence (accepted moves).
+    pub fn set_recompute_period(&mut self, period: usize) {
+        self.recompute_period = period.max(1);
+    }
+
+    /// Index range of the electrons this determinant covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.first..self.first + self.nel
+    }
+
+    fn owns(&self, iat: usize) -> bool {
+        iat >= self.first && iat < self.first + self.nel
+    }
+
+    /// Rebuilds the transposed inverse from the stored Slater matrix in
+    /// double precision and resets the engine (mixed-precision hygiene).
+    /// Returns the double-precision transposed inverse.
+    fn reinvert(&mut self) -> Matrix<f64> {
+        let a64: Matrix<f64> = self.psi_m.cast();
+        let (minv_t64, log, sign) =
+            transposed_inverse_log_det(&a64).expect("singular Slater matrix");
+        let minv_t: Matrix<T> = minv_t64.cast();
+        match &mut self.engine {
+            InverseEngine::Direct(m) => *m = minv_t,
+            InverseEngine::Delayed(d) => d.reset(minv_t),
+        }
+        self.log_value = log;
+        self.sign = sign;
+        self.accepted_since_recompute = 0;
+        minv_t64
+    }
+
+    fn engine_inv_row(&mut self, local: usize) {
+        match &self.engine {
+            InverseEngine::Direct(m) => {
+                self.inv_row.as_mut_slice().copy_from_slice(m.row(local));
+            }
+            InverseEngine::Delayed(d) => {
+                d.inv_row(local, self.inv_row.as_mut_slice());
+            }
+        }
+    }
+
+    /// Flushes any pending delayed updates (needed before measurements that
+    /// read many inverse rows).
+    pub fn complete_updates(&mut self) {
+        if let InverseEngine::Delayed(d) = &mut self.engine {
+            d.flush();
+        }
+    }
+}
+
+impl<T: Real> WaveFunctionComponent<T> for DiracDeterminant<T> {
+    fn name(&self) -> &str {
+        "DiracDeterminant"
+    }
+
+    fn evaluate_log(&mut self, p: &mut ParticleSet<T>) -> f64 {
+        let nel = self.nel;
+        // Fill psiM, gM, lM from the SPO set.
+        for i in 0..nel {
+            let pos = p.pos(self.first + i);
+            let Self {
+                spo,
+                psi_m,
+                g_m,
+                l_m,
+                psi_v,
+                psi_g,
+                psi_l,
+                ..
+            } = self;
+            spo.evaluate_vgl(
+                pos,
+                psi_v.as_mut_slice(),
+                psi_g.as_mut_slice(),
+                psi_l.as_mut_slice(),
+            );
+            let ns = psi_v.len();
+            psi_m.row_mut(i).copy_from_slice(&psi_v.as_slice()[..nel]);
+            for d in 0..3 {
+                g_m[d]
+                    .row_mut(i)
+                    .copy_from_slice(&psi_g.as_slice()[d * ns..d * ns + nel]);
+            }
+            l_m.row_mut(i).copy_from_slice(&psi_l.as_slice()[..nel]);
+        }
+        // Accumulate gradient/Laplacian of log|det| per electron using the
+        // fresh double-precision inverse.
+        let minv_t64 = self.reinvert();
+        for i in 0..nel {
+            let mi = minv_t64.row(i);
+            let mut g = TinyVector::<f64, 3>::zero();
+            let mut lap = 0.0f64;
+            for j in 0..nel {
+                for d in 0..3 {
+                    g[d] += self.g_m[d][(i, j)].to_f64() * mi[j];
+                }
+                lap += self.l_m[(i, j)].to_f64() * mi[j];
+            }
+            p.g[self.first + i] += g;
+            p.l[self.first + i] += lap - g.norm2();
+        }
+        self.log_value
+    }
+
+    fn ratio(&mut self, p: &ParticleSet<T>, iat: usize) -> f64 {
+        if !self.owns(iat) {
+            self.cur_ratio = 1.0;
+            return 1.0;
+        }
+        let local = iat - self.first;
+        let (_, newpos) = p.active_pos().expect("no active move");
+        self.spo.evaluate_v(newpos, self.psi_v.as_mut_slice());
+        let r = time_kernel(Kernel::DetRatio, || {
+            self.engine_inv_row(local);
+            det_ratio_row_from_slice(self.inv_row.as_slice(), &self.psi_v.as_slice()[..self.nel])
+        });
+        add_flops_bytes(
+            Kernel::DetRatio,
+            (2 * self.nel) as u64,
+            (2 * self.nel * std::mem::size_of::<T>()) as u64,
+        );
+        self.cur_ratio = r.to_f64();
+        self.cur_has_vgl = false;
+        self.cur_ratio
+    }
+
+    fn ratio_grad(&mut self, p: &ParticleSet<T>, iat: usize, grad: &mut Pos<f64>) -> f64 {
+        if !self.owns(iat) {
+            self.cur_ratio = 1.0;
+            return 1.0;
+        }
+        let local = iat - self.first;
+        let (_, newpos) = p.active_pos().expect("no active move");
+        self.spo.evaluate_vgl(
+            newpos,
+            self.psi_v.as_mut_slice(),
+            self.psi_g.as_mut_slice(),
+            self.psi_l.as_mut_slice(),
+        );
+        let ns = self.psi_v.len();
+        let r = time_kernel(Kernel::DetRatio, || {
+            self.engine_inv_row(local);
+            det_ratio_row_from_slice(self.inv_row.as_slice(), &self.psi_v.as_slice()[..self.nel])
+        });
+        self.cur_ratio = r.to_f64();
+        self.cur_has_vgl = true;
+        let inv = self.inv_row.as_slice();
+        let mut g = TinyVector::<f64, 3>::zero();
+        for d in 0..3 {
+            let gd = &self.psi_g.as_slice()[d * ns..d * ns + self.nel];
+            let mut acc = T::ZERO;
+            for j in 0..self.nel {
+                acc = gd[j].mul_add(inv[j], acc);
+            }
+            g[d] = acc.to_f64() / self.cur_ratio;
+        }
+        *grad += g;
+        self.cur_ratio
+    }
+
+    fn eval_grad(&mut self, _p: &ParticleSet<T>, iat: usize) -> Pos<f64> {
+        if !self.owns(iat) {
+            return TinyVector::zero();
+        }
+        let local = iat - self.first;
+        self.engine_inv_row(local);
+        let inv = self.inv_row.as_slice();
+        let mut g = TinyVector::<f64, 3>::zero();
+        for d in 0..3 {
+            let gd = self.g_m[d].row(local);
+            let mut acc = T::ZERO;
+            for j in 0..self.nel {
+                acc = gd[j].mul_add(inv[j], acc);
+            }
+            g[d] = acc.to_f64();
+        }
+        g
+    }
+
+    fn accept_move(&mut self, p: &ParticleSet<T>, iat: usize) {
+        if !self.owns(iat) {
+            return;
+        }
+        let local = iat - self.first;
+        let nel = self.nel;
+        if !self.cur_has_vgl {
+            // The accepted ratio was value-only; refresh gradients and
+            // Laplacians at the accepted position for the stored rows.
+            let (_, newpos) = p.active_pos().expect("no active move");
+            self.spo.evaluate_vgl(
+                newpos,
+                self.psi_v.as_mut_slice(),
+                self.psi_g.as_mut_slice(),
+                self.psi_l.as_mut_slice(),
+            );
+            self.cur_has_vgl = true;
+        }
+        time_kernel(Kernel::DetUpdate, || {
+            let v = &self.psi_v.as_slice()[..nel];
+            match &mut self.engine {
+                InverseEngine::Direct(m) => {
+                    let ratio = det_ratio_row(m, local, v);
+                    sherman_morrison_update(m, local, v, ratio);
+                }
+                InverseEngine::Delayed(d) => {
+                    d.accept(local, v);
+                }
+            }
+        });
+        add_flops_bytes(
+            Kernel::DetUpdate,
+            (2 * nel * nel) as u64,
+            (3 * nel * nel * std::mem::size_of::<T>()) as u64,
+        );
+        // Keep psiM / gM / lM rows current.
+        let ns = self.psi_v.len();
+        self.psi_m
+            .row_mut(local)
+            .copy_from_slice(&self.psi_v.as_slice()[..nel]);
+        for d in 0..3 {
+            self.g_m[d]
+                .row_mut(local)
+                .copy_from_slice(&self.psi_g.as_slice()[d * ns..d * ns + nel]);
+        }
+        self.l_m
+            .row_mut(local)
+            .copy_from_slice(&self.psi_l.as_slice()[..nel]);
+        self.log_value += self.cur_ratio.abs().ln();
+        if self.cur_ratio < 0.0 {
+            self.sign = -self.sign;
+        }
+        self.accepted_since_recompute += 1;
+        if self.accepted_since_recompute >= self.recompute_period {
+            self.complete_updates();
+            self.reinvert();
+        }
+    }
+
+    fn restore(&mut self, _iat: usize) {}
+
+    fn accumulate_gl(&mut self, p: &mut ParticleSet<T>) {
+        self.complete_updates();
+        let nel = self.nel;
+        time_kernel(Kernel::SpoVGL, || {
+            for i in 0..nel {
+                self.engine_inv_row(i);
+                let inv = self.inv_row.as_slice();
+                let mut g = TinyVector::<f64, 3>::zero();
+                for d in 0..3 {
+                    let gd = self.g_m[d].row(i);
+                    let mut acc = T::ZERO;
+                    for j in 0..nel {
+                        acc = gd[j].mul_add(inv[j], acc);
+                    }
+                    g[d] = acc.to_f64();
+                }
+                let ld = self.l_m.row(i);
+                let mut acc = T::ZERO;
+                for j in 0..nel {
+                    acc = ld[j].mul_add(inv[j], acc);
+                }
+                let lap = acc.to_f64();
+                p.g[self.first + i] += g;
+                p.l[self.first + i] += lap - g.norm2();
+            }
+        });
+    }
+
+    fn save_state(&mut self, buf: &mut WalkerBuffer<T>) {
+        self.complete_updates();
+        buf.put_matrix(&self.psi_m);
+        for d in 0..3 {
+            buf.put_matrix(&self.g_m[d]);
+        }
+        buf.put_matrix(&self.l_m);
+        match &self.engine {
+            InverseEngine::Direct(m) => buf.put_matrix(m),
+            InverseEngine::Delayed(d) => buf.put_matrix(d.minv_t()),
+        }
+        buf.put_f64(self.log_value);
+        buf.put_f64(self.sign);
+        buf.put_f64(self.accepted_since_recompute as f64);
+    }
+
+    fn load_state(&mut self, buf: &mut WalkerBuffer<T>) {
+        buf.get_matrix(&mut self.psi_m);
+        for d in 0..3 {
+            buf.get_matrix(&mut self.g_m[d]);
+        }
+        buf.get_matrix(&mut self.l_m);
+        let mut minv = Matrix::zeros(self.nel, self.nel);
+        buf.get_matrix(&mut minv);
+        match &mut self.engine {
+            InverseEngine::Direct(m) => *m = minv,
+            InverseEngine::Delayed(d) => d.reset(minv),
+        }
+        self.log_value = buf.get_f64();
+        self.sign = buf.get_f64();
+        self.accepted_since_recompute = buf.get_f64() as usize;
+    }
+
+    fn log_value(&self) -> f64 {
+        self.log_value
+    }
+
+    fn bytes(&self) -> usize {
+        // psiM + inverse + gradient/Laplacian matrices.
+        let inv_bytes = self.psi_m.bytes();
+        self.psi_m.bytes()
+            + inv_bytes
+            + self.g_m.iter().map(|m| m.bytes()).sum::<usize>()
+            + self.l_m.bytes()
+    }
+}
+
+#[inline]
+fn det_ratio_row_from_slice<T: Real>(inv_row: &[T], v: &[T]) -> T {
+    let mut acc = T::ZERO;
+    for (a, b) in inv_row.iter().zip(v) {
+        acc = a.mul_add(*b, acc);
+    }
+    acc
+}

@@ -1,0 +1,342 @@
+//! Optimized two-body Jastrow: compute-on-the-fly with SoA accumulators.
+//!
+//! §7.5 of the paper: once the distance-table rows are SoA and the batch
+//! kernels vectorize, it is cheaper to recompute pair terms than to store
+//! and shuffle the `5 N^2` matrices. This implementation keeps only the
+//! per-electron accumulators (value, gradient, Laplacian of `log psi`),
+//! `5 N sizeof(T)` per walker, maintained by forward updates on acceptance.
+
+use super::{evaluate_v_batch, evaluate_vgl_batch, PairFunctors};
+use crate::buffer::WalkerBuffer;
+use crate::traits::WaveFunctionComponent;
+use qmc_containers::{padded_len, AlignedVec, Pos, Real, TinyVector, VectorSoaContainer};
+use qmc_instrument::{add_flops_bytes, time_kernel, Kernel};
+use qmc_particles::ParticleSet;
+
+/// Optimized (SoA, compute-on-the-fly) two-body Jastrow factor.
+pub struct J2Soa<T: Real> {
+    table: usize,
+    functors: PairFunctors<T>,
+    n: usize,
+    /// Per-electron value sums `sum_j u(r_ij)`.
+    vat: AlignedVec<T>,
+    /// Per-electron gradient of `log psi` (SoA).
+    gat: VectorSoaContainer<T, 3>,
+    /// Per-electron Laplacian of `log psi`.
+    lat: AlignedVec<T>,
+    // Scratch rows (padded).
+    cur_u: AlignedVec<T>,
+    cur_dud: AlignedVec<T>,
+    cur_lap: AlignedVec<T>,
+    old_u: AlignedVec<T>,
+    old_dud: AlignedVec<T>,
+    old_lap: AlignedVec<T>,
+    cur_vat: f64,
+    cur_has_grad: bool,
+    log_value: f64,
+}
+
+impl<T: Real> J2Soa<T> {
+    /// Builds the factor over the AA distance table `table` (SoA layout).
+    pub fn new(p: &ParticleSet<T>, table: usize, functors: PairFunctors<T>) -> Self {
+        assert_eq!(functors.ngroups(), p.num_groups());
+        let n = p.len();
+        let np = padded_len::<T>(n);
+        Self {
+            table,
+            functors,
+            n,
+            vat: AlignedVec::zeros(n),
+            gat: VectorSoaContainer::new(n),
+            lat: AlignedVec::zeros(n),
+            cur_u: AlignedVec::zeros(np),
+            cur_dud: AlignedVec::zeros(np),
+            cur_lap: AlignedVec::zeros(np),
+            old_u: AlignedVec::zeros(np),
+            old_dud: AlignedVec::zeros(np),
+            old_lap: AlignedVec::zeros(np),
+            cur_vat: 0.0,
+            cur_has_grad: false,
+            log_value: 0.0,
+        }
+    }
+
+    /// Group-wise vectorized VGL batch over a distance row into the given
+    /// scratch arrays.
+    fn batch_vgl(
+        functors: &PairFunctors<T>,
+        p: &ParticleSet<T>,
+        gk: usize,
+        dists: &[T],
+        u: &mut [T],
+        dud: &mut [T],
+        lap: &mut [T],
+    ) {
+        for g2 in 0..p.num_groups() {
+            let r = p.group_range(g2);
+            let f = functors.get(gk, g2);
+            evaluate_vgl_batch(
+                f,
+                &dists[r.clone()],
+                &mut u[r.clone()],
+                &mut dud[r.clone()],
+                &mut lap[r],
+            );
+        }
+    }
+
+    fn batch_v(
+        functors: &PairFunctors<T>,
+        p: &ParticleSet<T>,
+        gk: usize,
+        dists: &[T],
+        u: &mut [T],
+    ) {
+        for g2 in 0..p.num_groups() {
+            let r = p.group_range(g2);
+            let f = functors.get(gk, g2);
+            evaluate_v_batch(f, &dists[r.clone()], &mut u[r]);
+        }
+    }
+}
+
+impl<T: Real> WaveFunctionComponent<T> for J2Soa<T> {
+    fn name(&self) -> &str {
+        "J2-soa"
+    }
+
+    fn evaluate_log(&mut self, p: &mut ParticleSet<T>) -> f64 {
+        let n = self.n;
+        time_kernel(Kernel::J2, || {
+            let t = p.table(self.table).as_aa_soa();
+            let mut logpsi = 0.0f64;
+            for i in 0..n {
+                let gk = p.group_of(i);
+                let dists = t.dist_row(i);
+                Self::batch_vgl(
+                    &self.functors,
+                    p,
+                    gk,
+                    dists,
+                    &mut self.cur_u.as_mut_slice()[..n],
+                    &mut self.cur_dud.as_mut_slice()[..n],
+                    &mut self.cur_lap.as_mut_slice()[..n],
+                );
+                let (dx, dy, dz) = (t.disp_row(0, i), t.disp_row(1, i), t.disp_row(2, i));
+                let (mut v, mut gx, mut gy, mut gz, mut l) =
+                    (T::ZERO, T::ZERO, T::ZERO, T::ZERO, T::ZERO);
+                let cu = &self.cur_u.as_slice()[..n];
+                let cd = &self.cur_dud.as_slice()[..n];
+                let cl = &self.cur_lap.as_slice()[..n];
+                for j in 0..n {
+                    v += cu[j];
+                    gx = cd[j].mul_add(dx[j], gx);
+                    gy = cd[j].mul_add(dy[j], gy);
+                    gz = cd[j].mul_add(dz[j], gz);
+                    l += cl[j];
+                }
+                self.vat[i] = v;
+                self.gat.set(i, TinyVector([gx, gy, gz]));
+                self.lat[i] = -l;
+                logpsi -= 0.5 * v.to_f64();
+            }
+            add_flops_bytes(
+                Kernel::J2,
+                (n * n * 26) as u64,
+                (n * n * 6 * std::mem::size_of::<T>()) as u64,
+            );
+            for i in 0..n {
+                let g: Pos<f64> = self.gat.get(i).cast();
+                p.g[i] += g;
+                p.l[i] += self.lat[i].to_f64();
+            }
+            self.log_value = logpsi;
+            logpsi
+        })
+    }
+
+    fn ratio(&mut self, p: &ParticleSet<T>, iat: usize) -> f64 {
+        time_kernel(Kernel::J2, || {
+            let t = p.table(self.table).as_aa_soa();
+            let gk = p.group_of(iat);
+            Self::batch_v(
+                &self.functors,
+                p,
+                gk,
+                t.temp_dist(),
+                &mut self.cur_u.as_mut_slice()[..self.n],
+            );
+            let mut v = T::ZERO;
+            for &u in &self.cur_u.as_slice()[..self.n] {
+                v += u;
+            }
+            self.cur_vat = v.to_f64();
+            self.cur_has_grad = false;
+            add_flops_bytes(
+                Kernel::J2,
+                (self.n * 14) as u64,
+                (self.n * 2 * std::mem::size_of::<T>()) as u64,
+            );
+            (-(self.cur_vat - self.vat[iat].to_f64())).exp()
+        })
+    }
+
+    fn ratio_grad(&mut self, p: &ParticleSet<T>, iat: usize, grad: &mut Pos<f64>) -> f64 {
+        time_kernel(Kernel::J2, || {
+            let t = p.table(self.table).as_aa_soa();
+            let gk = p.group_of(iat);
+            let n = self.n;
+            Self::batch_vgl(
+                &self.functors,
+                p,
+                gk,
+                t.temp_dist(),
+                &mut self.cur_u.as_mut_slice()[..n],
+                &mut self.cur_dud.as_mut_slice()[..n],
+                &mut self.cur_lap.as_mut_slice()[..n],
+            );
+            let (tx, ty, tz) = (t.temp_disp(0), t.temp_disp(1), t.temp_disp(2));
+            let (mut v, mut gx, mut gy, mut gz) = (T::ZERO, T::ZERO, T::ZERO, T::ZERO);
+            let cu = &self.cur_u.as_slice()[..n];
+            let cd = &self.cur_dud.as_slice()[..n];
+            for j in 0..n {
+                v += cu[j];
+                gx = cd[j].mul_add(tx[j], gx);
+                gy = cd[j].mul_add(ty[j], gy);
+                gz = cd[j].mul_add(tz[j], gz);
+            }
+            self.cur_vat = v.to_f64();
+            self.cur_has_grad = true;
+            *grad += TinyVector([gx.to_f64(), gy.to_f64(), gz.to_f64()]);
+            add_flops_bytes(
+                Kernel::J2,
+                (n * 26) as u64,
+                (n * 6 * std::mem::size_of::<T>()) as u64,
+            );
+            (-(self.cur_vat - self.vat[iat].to_f64())).exp()
+        })
+    }
+
+    fn eval_grad(&mut self, _p: &ParticleSet<T>, iat: usize) -> Pos<f64> {
+        self.gat.get(iat).cast()
+    }
+
+    fn accept_move(&mut self, p: &ParticleSet<T>, iat: usize) {
+        time_kernel(Kernel::J2, || {
+            let n = self.n;
+            let t = p.table(self.table).as_aa_soa();
+            let gk = p.group_of(iat);
+            if !self.cur_has_grad {
+                Self::batch_vgl(
+                    &self.functors,
+                    p,
+                    gk,
+                    t.temp_dist(),
+                    &mut self.cur_u.as_mut_slice()[..n],
+                    &mut self.cur_dud.as_mut_slice()[..n],
+                    &mut self.cur_lap.as_mut_slice()[..n],
+                );
+            }
+            // Old row terms against the current (pre-accept) positions.
+            Self::batch_vgl(
+                &self.functors,
+                p,
+                gk,
+                t.dist_row(iat),
+                &mut self.old_u.as_mut_slice()[..n],
+                &mut self.old_dud.as_mut_slice()[..n],
+                &mut self.old_lap.as_mut_slice()[..n],
+            );
+            self.log_value -= self.cur_vat - self.vat[iat].to_f64();
+
+            let (tx, ty, tz) = (t.temp_disp(0), t.temp_disp(1), t.temp_disp(2));
+            let (ox, oy, oz) = (t.disp_row(0, iat), t.disp_row(1, iat), t.disp_row(2, iat));
+            let cu = &self.cur_u.as_slice()[..n];
+            let cd = &self.cur_dud.as_slice()[..n];
+            let cl = &self.cur_lap.as_slice()[..n];
+            let ou = &self.old_u.as_slice()[..n];
+            let od = &self.old_dud.as_slice()[..n];
+            let ol = &self.old_lap.as_slice()[..n];
+
+            // Forward update of neighbour accumulators (vectorized slabs).
+            let vat = self.vat.as_mut_slice();
+            let lat = self.lat.as_mut_slice();
+            let (mut kx, mut ky, mut kz, mut kv, mut kl) =
+                (T::ZERO, T::ZERO, T::ZERO, T::ZERO, T::ZERO);
+            for j in 0..n {
+                vat[j] += cu[j] - ou[j];
+                kv += cu[j];
+                kl += cl[j];
+            }
+            let gx = self.gat.dim_mut(0);
+            for j in 0..n {
+                gx[j] += od[j] * ox[j] - cd[j] * tx[j];
+                kx = cd[j].mul_add(tx[j], kx);
+            }
+            let gy = self.gat.dim_mut(1);
+            for j in 0..n {
+                gy[j] += od[j] * oy[j] - cd[j] * ty[j];
+                ky = cd[j].mul_add(ty[j], ky);
+            }
+            let gz = self.gat.dim_mut(2);
+            for j in 0..n {
+                gz[j] += od[j] * oz[j] - cd[j] * tz[j];
+                kz = cd[j].mul_add(tz[j], kz);
+            }
+            for j in 0..n {
+                lat[j] += ol[j] - cl[j];
+            }
+            // The moved electron's accumulators from the new row.
+            self.vat[iat] = kv;
+            self.gat.set(iat, TinyVector([kx, ky, kz]));
+            self.lat[iat] = -kl;
+            add_flops_bytes(
+                Kernel::J2,
+                (n * 40) as u64,
+                (n * 14 * std::mem::size_of::<T>()) as u64,
+            );
+        });
+    }
+
+    fn restore(&mut self, _iat: usize) {
+        self.cur_has_grad = false;
+    }
+
+    fn accumulate_gl(&mut self, p: &mut ParticleSet<T>) {
+        for i in 0..self.n {
+            let g: Pos<f64> = self.gat.get(i).cast();
+            p.g[i] += g;
+            p.l[i] += self.lat[i].to_f64();
+        }
+    }
+
+    fn save_state(&mut self, buf: &mut WalkerBuffer<T>) {
+        buf.put_slice(self.vat.as_slice());
+        for d in 0..3 {
+            buf.put_slice(self.gat.dim(d));
+        }
+        buf.put_slice(self.lat.as_slice());
+        buf.put_f64(self.log_value);
+    }
+
+    fn load_state(&mut self, buf: &mut WalkerBuffer<T>) {
+        buf.get_slice(self.vat.as_mut_slice());
+        for d in 0..3 {
+            buf.get_slice(self.gat.dim_mut(d));
+        }
+        buf.get_slice(self.lat.as_mut_slice());
+        self.log_value = buf.get_f64();
+    }
+
+    fn log_value(&self) -> f64 {
+        self.log_value
+    }
+
+    fn bytes(&self) -> usize {
+        // The 5N store: vat + 3 gat slabs + lat (scratch rows excluded as in
+        // the paper's accounting of per-walker state).
+        self.vat.len() * std::mem::size_of::<T>()
+            + self.gat.bytes()
+            + self.lat.len() * std::mem::size_of::<T>()
+    }
+}

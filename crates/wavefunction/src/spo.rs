@@ -1,0 +1,341 @@
+//! Single-particle orbital (SPO) sets.
+//!
+//! [`SpoSet`] produces the values / gradients / Laplacians of all orbitals
+//! at a point. The production implementation is [`BsplineSpo`], wrapping the
+//! tricubic multi-spline tables of `qmc-bspline` (with the paper's Ref and
+//! Current loop orders and either precision); [`CosineSpo`] is an analytic
+//! plane-wave-like set used for correctness tests where every derivative is
+//! known in closed form.
+
+use qmc_bspline::MultiBspline3D;
+use qmc_containers::{Pos, Real, TinyVector};
+use qmc_instrument::{add_flops_bytes, time_kernel, Kernel};
+use qmc_particles::CrystalLattice;
+use std::sync::Arc;
+
+/// A set of single-particle orbitals evaluated at arbitrary positions.
+///
+/// Gradients and Laplacians are returned in Cartesian coordinates; scratch
+/// slices are sized by [`SpoSet::size`].
+pub trait SpoSet<T: Real>: Send + Sync {
+    /// Number of orbitals.
+    fn size(&self) -> usize;
+
+    /// Values of all orbitals at `pos` (used for NLPP ratio evaluations;
+    /// the paper's `Bspline-v` kernel).
+    fn evaluate_v(&mut self, pos: Pos<T>, psi: &mut [T]);
+
+    /// Values, Cartesian gradients (3 slabs of `size()`) and Laplacians of
+    /// all orbitals at `pos` (the `Bspline-vgh` + `SPO-vgl` kernels).
+    fn evaluate_vgl(&mut self, pos: Pos<T>, psi: &mut [T], grad: &mut [T], lap: &mut [T]);
+}
+
+/// Evaluation strategy for [`BsplineSpo`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpoLayout {
+    /// Baseline spline-outer loops (strided accesses).
+    Ref,
+    /// Optimized spline-innermost loops (contiguous SIMD slabs).
+    Soa,
+}
+
+/// B-spline-backed SPO set on a periodic cell. The coefficient table is
+/// shared (`Arc`) between all walkers/threads, as in QMCPACK where the
+/// read-only table is the single biggest allocation (Table 1).
+pub struct BsplineSpo<T: Real> {
+    table: Arc<MultiBspline3D<T>>,
+    lattice: CrystalLattice<T>,
+    layout: SpoLayout,
+    /// Scratch for fractional-space gradients (3 slabs).
+    scratch_grad: Vec<T>,
+    /// Scratch for fractional-space Hessians (6 slabs).
+    scratch_hess: Vec<T>,
+}
+
+// Scratch is per-instance; instances are cloned per thread.
+impl<T: Real> Clone for BsplineSpo<T> {
+    fn clone(&self) -> Self {
+        Self {
+            table: Arc::clone(&self.table),
+            lattice: self.lattice.clone(),
+            layout: self.layout,
+            scratch_grad: self.scratch_grad.clone(),
+            scratch_hess: self.scratch_hess.clone(),
+        }
+    }
+}
+
+impl<T: Real> BsplineSpo<T> {
+    /// Wraps a shared spline table for a given cell and loop order.
+    pub fn new(
+        table: Arc<MultiBspline3D<T>>,
+        lattice: CrystalLattice<T>,
+        layout: SpoLayout,
+    ) -> Self {
+        let ns = table.num_splines();
+        Self {
+            table,
+            lattice,
+            layout,
+            scratch_grad: vec![T::ZERO; 3 * ns],
+            scratch_hess: vec![T::ZERO; 6 * ns],
+        }
+    }
+
+    /// Bytes of the shared coefficient table.
+    pub fn table_bytes(&self) -> usize {
+        self.table.bytes()
+    }
+
+    fn to_frac(&self, pos: Pos<T>) -> [T; 3] {
+        let f = self.lattice.to_frac(pos);
+        [f[0], f[1], f[2]]
+    }
+}
+
+impl<T: Real> SpoSet<T> for BsplineSpo<T> {
+    fn size(&self) -> usize {
+        self.table.num_splines()
+    }
+
+    fn evaluate_v(&mut self, pos: Pos<T>, psi: &mut [T]) {
+        let u = self.to_frac(pos);
+        let ns = self.size();
+        time_kernel(Kernel::BsplineV, || match self.layout {
+            SpoLayout::Ref => self.table.evaluate_v_ref(u, psi),
+            SpoLayout::Soa => self.table.evaluate_v(u, psi),
+        });
+        add_flops_bytes(
+            Kernel::BsplineV,
+            (128 * ns) as u64,
+            (64 * ns * std::mem::size_of::<T>()) as u64,
+        );
+    }
+
+    fn evaluate_vgl(&mut self, pos: Pos<T>, psi: &mut [T], grad: &mut [T], lap: &mut [T]) {
+        let u = self.to_frac(pos);
+        let ns = self.size();
+        assert!(grad.len() >= 3 * ns && lap.len() >= ns);
+        let Self {
+            table,
+            lattice,
+            layout,
+            scratch_grad: fg,
+            scratch_hess: fh,
+        } = self;
+        time_kernel(Kernel::BsplineVGH, || match layout {
+            SpoLayout::Ref => table.evaluate_vgh_ref(u, psi, fg, fh),
+            SpoLayout::Soa => table.evaluate_vgh(u, psi, fg, fh),
+        });
+        add_flops_bytes(
+            Kernel::BsplineVGH,
+            (64 * 20 * ns) as u64,
+            ((64 + 10) * ns * std::mem::size_of::<T>()) as u64,
+        );
+        // Transform fractional derivatives to Cartesian (SPO-vgl stage).
+        time_kernel(Kernel::SpoVGL, || {
+            for s in 0..ns {
+                let gf = TinyVector([fg[s], fg[ns + s], fg[2 * ns + s]]);
+                let gc = lattice.frac_grad_to_cart(gf);
+                grad[s] = gc[0];
+                grad[ns + s] = gc[1];
+                grad[2 * ns + s] = gc[2];
+                lap[s] = lattice.frac_hess_to_cart_laplacian([
+                    fh[s],
+                    fh[ns + s],
+                    fh[2 * ns + s],
+                    fh[3 * ns + s],
+                    fh[4 * ns + s],
+                    fh[5 * ns + s],
+                ]);
+            }
+        });
+        add_flops_bytes(
+            Kernel::SpoVGL,
+            (40 * ns) as u64,
+            (10 * ns * std::mem::size_of::<T>()) as u64,
+        );
+    }
+}
+
+/// Analytic cosine ("plane-wave-like") orbitals for tests:
+/// `phi_s(r) = cos(k_s . r + phase_s)`.
+#[derive(Clone)]
+pub struct CosineSpo<T: Real> {
+    ks: Vec<Pos<f64>>,
+    phases: Vec<f64>,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Real> CosineSpo<T> {
+    /// Builds `n` orbitals commensurate with an orthorhombic cell of edges
+    /// `l` (so the orbitals are periodic on the cell).
+    pub fn new(n: usize, l: [f64; 3]) -> Self {
+        use std::f64::consts::TAU;
+        let mut ks = Vec::with_capacity(n);
+        let mut phases = Vec::with_capacity(n);
+        // Enumerate small integer k-vectors deterministically.
+        let mut m = 0i64;
+        'outer: for shell in 0i64.. {
+            for ix in -shell..=shell {
+                for iy in -shell..=shell {
+                    for iz in -shell..=shell {
+                        if ix.abs().max(iy.abs()).max(iz.abs()) != shell {
+                            continue;
+                        }
+                        ks.push(TinyVector([
+                            TAU * ix as f64 / l[0],
+                            TAU * iy as f64 / l[1],
+                            TAU * iz as f64 / l[2],
+                        ]));
+                        phases.push(0.4 + 0.3 * m as f64);
+                        m += 1;
+                        if ks.len() == n {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            ks,
+            phases,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Real> SpoSet<T> for CosineSpo<T> {
+    fn size(&self) -> usize {
+        self.ks.len()
+    }
+
+    fn evaluate_v(&mut self, pos: Pos<T>, psi: &mut [T]) {
+        let p: Pos<f64> = pos.cast();
+        for (s, out) in psi[..self.ks.len()].iter_mut().enumerate() {
+            *out = T::from_f64((self.ks[s].dot(&p) + self.phases[s]).cos());
+        }
+    }
+
+    fn evaluate_vgl(&mut self, pos: Pos<T>, psi: &mut [T], grad: &mut [T], lap: &mut [T]) {
+        let p: Pos<f64> = pos.cast();
+        let ns = self.ks.len();
+        for s in 0..ns {
+            let arg = self.ks[s].dot(&p) + self.phases[s];
+            let (sin, cos) = arg.sin_cos();
+            psi[s] = T::from_f64(cos);
+            for d in 0..3 {
+                grad[d * ns + s] = T::from_f64(-self.ks[s][d] * sin);
+            }
+            lap[s] = T::from_f64(-self.ks[s].norm2() * cos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_spo_derivatives_analytic() {
+        let mut spo = CosineSpo::<f64>::new(5, [4.0, 5.0, 6.0]);
+        let pos = TinyVector([1.1, 2.2, 0.7]);
+        let ns = 5;
+        let mut psi = vec![0.0; ns];
+        let mut grad = vec![0.0; 3 * ns];
+        let mut lap = vec![0.0; ns];
+        spo.evaluate_vgl(pos, &mut psi, &mut grad, &mut lap);
+        // Finite differences on evaluate_v.
+        let eps = 1e-6;
+        for d in 0..3 {
+            let mut pp = pos;
+            pp[d] += eps;
+            let mut pm = pos;
+            pm[d] -= eps;
+            let (mut vp, mut vm) = (vec![0.0; ns], vec![0.0; ns]);
+            spo.evaluate_v(pp, &mut vp);
+            spo.evaluate_v(pm, &mut vm);
+            for s in 0..ns {
+                let fd = (vp[s] - vm[s]) / (2.0 * eps);
+                assert!((grad[d * ns + s] - fd).abs() < 1e-8, "d={d} s={s}");
+            }
+        }
+        // Laplacian via sum of second differences.
+        let mut l_fd = vec![0.0; ns];
+        for d in 0..3 {
+            let mut pp = pos;
+            pp[d] += eps;
+            let mut pm = pos;
+            pm[d] -= eps;
+            let (mut vp, mut vm) = (vec![0.0; ns], vec![0.0; ns]);
+            spo.evaluate_v(pp, &mut vp);
+            spo.evaluate_v(pm, &mut vm);
+            for s in 0..ns {
+                l_fd[s] += (vp[s] - 2.0 * psi[s] + vm[s]) / (eps * eps);
+            }
+        }
+        for s in 0..ns {
+            assert!(
+                (lap[s] - l_fd[s]).abs() < 1e-3 * (1.0 + l_fd[s].abs()),
+                "s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn bspline_spo_layouts_agree() {
+        let lat = CrystalLattice::<f64>::orthorhombic([3.0, 4.0, 5.0]);
+        let table = Arc::new(MultiBspline3D::<f64>::random([6, 6, 6], 7, 13));
+        let mut spo_ref = BsplineSpo::new(Arc::clone(&table), lat.clone(), SpoLayout::Ref);
+        let mut spo_soa = BsplineSpo::new(table, lat, SpoLayout::Soa);
+        let pos = TinyVector([1.3, 0.4, 4.1]);
+        let ns = 7;
+        let (mut p1, mut p2) = (vec![0.0; ns], vec![0.0; ns]);
+        spo_ref.evaluate_v(pos, &mut p1);
+        spo_soa.evaluate_v(pos, &mut p2);
+        for s in 0..ns {
+            assert!((p1[s] - p2[s]).abs() < 1e-12);
+        }
+        let (mut g1, mut g2) = (vec![0.0; 3 * ns], vec![0.0; 3 * ns]);
+        let (mut l1, mut l2) = (vec![0.0; ns], vec![0.0; ns]);
+        spo_ref.evaluate_vgl(pos, &mut p1, &mut g1, &mut l1);
+        spo_soa.evaluate_vgl(pos, &mut p2, &mut g2, &mut l2);
+        for i in 0..3 * ns {
+            assert!((g1[i] - g2[i]).abs() < 1e-10);
+        }
+        for s in 0..ns {
+            assert!((l1[s] - l2[s]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bspline_spo_gradient_finite_difference() {
+        let lat = CrystalLattice::<f64>::orthorhombic([3.0, 3.0, 3.0]);
+        let table = Arc::new(MultiBspline3D::<f64>::random([8, 8, 8], 3, 21));
+        let mut spo = BsplineSpo::new(table, lat, SpoLayout::Soa);
+        let pos = TinyVector([0.77, 1.93, 2.46]);
+        let ns = 3;
+        let mut psi = vec![0.0; ns];
+        let mut grad = vec![0.0; 3 * ns];
+        let mut lap = vec![0.0; ns];
+        spo.evaluate_vgl(pos, &mut psi, &mut grad, &mut lap);
+        let eps = 1e-6;
+        for d in 0..3 {
+            let mut pp = pos;
+            pp[d] += eps;
+            let mut pm = pos;
+            pm[d] -= eps;
+            let (mut vp, mut vm) = (vec![0.0; ns], vec![0.0; ns]);
+            spo.evaluate_v(pp, &mut vp);
+            spo.evaluate_v(pm, &mut vm);
+            for s in 0..ns {
+                let fd = (vp[s] - vm[s]) / (2.0 * eps);
+                assert!(
+                    (grad[d * ns + s] - fd).abs() < 1e-5 * (1.0 + fd.abs()),
+                    "d={d} s={s}: {} vs {fd}",
+                    grad[d * ns + s]
+                );
+            }
+        }
+    }
+}

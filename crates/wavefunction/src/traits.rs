@@ -1,0 +1,76 @@
+//! The wavefunction-component protocol.
+//!
+//! Mirrors QMCPACK's `WaveFunctionComponent` virtual interface, which §7.5
+//! of the paper redesigns "to clearly define the roles and requirements of
+//! the virtual functions for move, accept/reject and measurement".
+//!
+//! Call order per particle-by-particle step of Algorithm 1 (driven by
+//! `TrialWaveFunction`):
+//!
+//! 1. `ParticleSet::prepare_move(iat)` — compute-on-the-fly row refresh,
+//! 2. `eval_grad(iat)` — gradient at the *current* position (drift),
+//! 3. `ParticleSet::make_move(iat, r')` — candidate distance rows,
+//! 4. `ratio(iat)` / `ratio_grad(iat)` — Eq. 4 factor per component,
+//! 5. on accept: `accept_move(iat)` then `ParticleSet::accept_move`,
+//!    on reject: `restore(iat)` then `ParticleSet::reject_move`.
+
+use crate::buffer::WalkerBuffer;
+use qmc_containers::{Pos, Real};
+use qmc_particles::ParticleSet;
+
+/// One multiplicative factor of the trial wavefunction (a Jastrow factor or
+/// a Slater determinant).
+pub trait WaveFunctionComponent<T: Real>: Send {
+    /// Component name for reports.
+    fn name(&self) -> &str;
+
+    /// Recomputes the component from scratch for the particle set's current
+    /// configuration. Returns `log |psi_c|` and *accumulates* the gradient
+    /// and Laplacian of `log psi_c` into `p.g` / `p.l` (double precision,
+    /// per the paper's mixed-precision rules).
+    fn evaluate_log(&mut self, p: &mut ParticleSet<T>) -> f64;
+
+    /// `psi_c(R') / psi_c(R)` for the active move of particle `iat`
+    /// (`ParticleSet::make_move` must have been called).
+    fn ratio(&mut self, p: &ParticleSet<T>, iat: usize) -> f64;
+
+    /// Like [`Self::ratio`], additionally accumulating the gradient of
+    /// `log psi_c` at the *proposed* position into `grad`.
+    fn ratio_grad(&mut self, p: &ParticleSet<T>, iat: usize, grad: &mut Pos<f64>) -> f64;
+
+    /// Gradient of `log psi_c` with respect to particle `iat` at its
+    /// current position (used for the drift term before proposing).
+    fn eval_grad(&mut self, p: &ParticleSet<T>, iat: usize) -> Pos<f64>;
+
+    /// Commits internal state for the accepted move of `iat`. Called while
+    /// the particle set still exposes the candidate rows.
+    fn accept_move(&mut self, p: &ParticleSet<T>, iat: usize);
+
+    /// Discards any candidate state for the rejected move of `iat`.
+    fn restore(&mut self, iat: usize);
+
+    /// Current `log |psi_c|` (kept incrementally up to date by accepts).
+    fn log_value(&self) -> f64;
+
+    /// Bytes of per-walker internal storage, for the memory ledger (this is
+    /// where the paper's `5 N^2 sizeof(T)` versus `5 N sizeof(T)` shows up).
+    fn bytes(&self) -> usize;
+
+    /// Appends this component's internal PbyP state to the walker's
+    /// anonymous buffer (QMCPACK's `updateBuffer`). Together with
+    /// [`Self::load_state`] this lets a thread swap walkers without
+    /// recomputing the wavefunction from scratch.
+    fn save_state(&mut self, buf: &mut WalkerBuffer<T>);
+
+    /// Accumulates the gradient/Laplacian of `log psi_c` into `p.g`/`p.l`
+    /// from *stored* internal state, without re-evaluating orbitals or
+    /// re-inverting matrices. This is the O(N^2) measurement path QMCPACK
+    /// uses after each drift-diffusion sweep; [`Self::evaluate_log`] is the
+    /// from-scratch variant used at block boundaries.
+    fn accumulate_gl(&mut self, p: &mut ParticleSet<T>);
+
+    /// Restores internal state previously written by [`Self::save_state`]
+    /// (QMCPACK's `copyFromBuffer`). The particle set's positions and
+    /// distance tables must already reflect the walker.
+    fn load_state(&mut self, buf: &mut WalkerBuffer<T>);
+}

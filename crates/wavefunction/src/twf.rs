@@ -1,0 +1,163 @@
+//! [`TrialWaveFunction`]: the Slater–Jastrow product (Eq. 2).
+//!
+//! Composes wavefunction components multiplicatively: ratios multiply,
+//! log values and gradients add. This is the object the QMC drivers talk
+//! to, mirroring `TrialWaveFunction` in Fig. 4.
+
+use crate::traits::WaveFunctionComponent;
+use qmc_containers::{Pos, Real, TinyVector};
+use qmc_particles::ParticleSet;
+
+/// Product trial wavefunction `Psi_T = prod_c psi_c`.
+pub struct TrialWaveFunction<T: Real> {
+    components: Vec<Box<dyn WaveFunctionComponent<T>>>,
+    log_value: f64,
+}
+
+impl<T: Real> TrialWaveFunction<T> {
+    /// Empty wavefunction (components added with [`Self::add`]).
+    pub fn new() -> Self {
+        Self {
+            components: Vec::new(),
+            log_value: 0.0,
+        }
+    }
+
+    /// Adds a component factor.
+    pub fn add(&mut self, c: Box<dyn WaveFunctionComponent<T>>) {
+        self.components.push(c);
+    }
+
+    /// Number of component factors.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Mutable access to a component (used by harnesses for
+    /// determinant-specific operations).
+    pub fn component_mut(&mut self, i: usize) -> &mut dyn WaveFunctionComponent<T> {
+        self.components[i].as_mut()
+    }
+
+    /// Full evaluation: zeroes the particle set's G/L accumulators, sums
+    /// `log |psi_c|` over components, and fills `p.g`/`p.l` with the
+    /// gradient and Laplacian of `log Psi_T`.
+    pub fn evaluate_log(&mut self, p: &mut ParticleSet<T>) -> f64 {
+        // Forward updates deliberately leave SoA distance-table rows stale
+        // (compute-on-the-fly, §7.5); a full evaluation must rebuild them,
+        // as QMCPACK's drivers do with `P.update()` before `evaluateLog`.
+        p.update_tables();
+        p.reset_gl();
+        let mut log = 0.0;
+        for c in &mut self.components {
+            log += c.evaluate_log(p);
+        }
+        self.log_value = log;
+        log
+    }
+
+    /// Measurement-path G/L refresh: accumulates gradient/Laplacian of
+    /// `log Psi_T` from each component's *stored* state (O(N^2); no orbital
+    /// re-evaluation, no re-inversion). Distance tables are rebuilt first
+    /// because the Coulomb/NLPP terms of the Hamiltonian read them.
+    pub fn update_gl(&mut self, p: &mut ParticleSet<T>) -> f64 {
+        p.update_tables();
+        p.reset_gl();
+        for c in &mut self.components {
+            c.accumulate_gl(p);
+        }
+        self.log_value = self.components.iter().map(|c| c.log_value()).sum();
+        self.log_value
+    }
+
+    /// `Psi_T(R') / Psi_T(R)` for the active move (Eq. 4).
+    pub fn calc_ratio(&mut self, p: &ParticleSet<T>, iat: usize) -> f64 {
+        let mut ratio = 1.0;
+        for c in &mut self.components {
+            ratio *= c.ratio(p, iat);
+        }
+        ratio
+    }
+
+    /// Ratio together with the gradient of `log Psi_T` at the proposed
+    /// position (for the drift term of the importance-sampled move).
+    pub fn calc_ratio_grad(&mut self, p: &ParticleSet<T>, iat: usize) -> (f64, Pos<f64>) {
+        let mut ratio = 1.0;
+        let mut grad = TinyVector::zero();
+        for c in &mut self.components {
+            ratio *= c.ratio_grad(p, iat, &mut grad);
+        }
+        (ratio, grad)
+    }
+
+    /// Gradient of `log Psi_T` for particle `iat` at its current position.
+    pub fn eval_grad(&mut self, p: &ParticleSet<T>, iat: usize) -> Pos<f64> {
+        let mut g = TinyVector::zero();
+        for c in &mut self.components {
+            g += c.eval_grad(p, iat);
+        }
+        g
+    }
+
+    /// Commits the active move in every component (call before
+    /// `ParticleSet::accept_move`).
+    pub fn accept_move(&mut self, p: &ParticleSet<T>, iat: usize) {
+        for c in &mut self.components {
+            c.accept_move(p, iat);
+        }
+    }
+
+    /// Discards candidate state in every component.
+    pub fn reject_move(&mut self, iat: usize) {
+        for c in &mut self.components {
+            c.restore(iat);
+        }
+    }
+
+    /// Current `log |Psi_T|` from the incrementally maintained component
+    /// values.
+    pub fn log_value(&self) -> f64 {
+        self.components.iter().map(|c| c.log_value()).sum()
+    }
+
+    /// Per-walker internal storage across components (memory ledger).
+    pub fn bytes(&self) -> usize {
+        self.components.iter().map(|c| c.bytes()).sum()
+    }
+
+    /// Writes every component's PbyP state into a walker buffer
+    /// (QMCPACK's `updateBuffer`). The buffer is cleared first.
+    pub fn save_state(&mut self, buf: &mut crate::buffer::WalkerBuffer<T>) {
+        buf.clear();
+        for c in &mut self.components {
+            c.save_state(buf);
+        }
+    }
+
+    /// Restores every component's PbyP state from a walker buffer
+    /// (QMCPACK's `copyFromBuffer`). Positions and distance tables must
+    /// already reflect the walker. Panics if the buffer layout mismatches.
+    pub fn load_state(&mut self, buf: &mut crate::buffer::WalkerBuffer<T>) {
+        buf.rewind();
+        for c in &mut self.components {
+            c.load_state(buf);
+        }
+        assert!(buf.fully_consumed(), "walker buffer layout mismatch");
+        self.log_value = self.components.iter().map(|c| c.log_value()).sum();
+    }
+
+    /// Component names joined for reports.
+    pub fn describe(&self) -> String {
+        self.components
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(" * ")
+    }
+}
+
+impl<T: Real> Default for TrialWaveFunction<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,192 @@
+//! The benchmark runner shared by every figure/table harness: builds a
+//! thread crew of engines for a (workload, code version) pair, runs DMC,
+//! and reports the paper's figures of merit — throughput `P = M <N_w> /
+//! T_CPU` (§6.2), the merged per-kernel profile, and memory accounting.
+
+use crate::build::{CodeVersion, Workload};
+use qmc_containers::Real;
+use qmc_drivers::{initial_population, run_dmc_parallel, DmcParams, QmcEngine, Walker};
+use qmc_instrument::Profile;
+
+/// Execution configuration for one benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// Worker threads (engines).
+    pub threads: usize,
+    /// Target walker population.
+    pub walkers: usize,
+    /// DMC generations.
+    pub steps: usize,
+    /// Generations excluded from statistics.
+    pub warmup: usize,
+    /// Imaginary time step.
+    pub tau: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            walkers: 8,
+            steps: 12,
+            warmup: 2,
+            tau: 0.005,
+            seed: 0xBE_EF,
+        }
+    }
+}
+
+/// Outcome of one benchmark run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Code version label.
+    pub label: String,
+    /// Wall-clock seconds of the DMC loop (excluding engine construction).
+    pub seconds: f64,
+    /// Monte Carlo samples generated after warmup.
+    pub samples: u64,
+    /// Per-kernel profile merged over all threads.
+    pub profile: Profile,
+    /// `(mean, error, tau_corr)` of the mixed energy estimator.
+    pub energy: (f64, f64, f64),
+    /// Move acceptance ratio.
+    pub acceptance: f64,
+    /// Bytes of one walker (positions + anonymous buffer).
+    pub walker_bytes: usize,
+    /// Bytes of one engine (wavefunction internals + distance tables).
+    pub engine_bytes: usize,
+    /// Bytes of the shared read-only spline table.
+    pub table_bytes: usize,
+    /// Final walker population.
+    pub final_population: usize,
+}
+
+impl RunOutcome {
+    /// Throughput `P = samples / seconds` (§6.2 figure of merit).
+    pub fn throughput(&self) -> f64 {
+        self.samples as f64 / self.seconds
+    }
+
+    /// DMC efficiency `kappa = 1 / (sigma^2 tau_corr T_MC)` (§3): the
+    /// figure the paper's throughput gains translate into. Uses the
+    /// blocking error's variance and autocorrelation estimates.
+    pub fn kappa(&self) -> f64 {
+        let (_, err, tau_corr) = self.energy;
+        let sigma2 = err * err; // variance of the mean estimate
+        if sigma2 > 0.0 && self.seconds > 0.0 {
+            1.0 / (sigma2 * tau_corr.max(1.0) * self.seconds)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Total node memory model: shared table + per-thread engines +
+    /// per-walker buffers (the paper's `gamma (N_th + N_w) N^2` plus the
+    /// read-only table).
+    pub fn total_bytes(&self, threads: usize, walkers: usize) -> usize {
+        self.table_bytes + threads * self.engine_bytes + walkers * self.walker_bytes
+    }
+}
+
+fn run_generic<T: Real>(
+    mut engines: Vec<QmcEngine<T>>,
+    workload: &Workload,
+    code: CodeVersion,
+    cfg: &RunConfig,
+) -> RunOutcome {
+    let mut walkers: Vec<Walker<T>> =
+        initial_population(workload.initial_positions(), cfg.walkers, cfg.seed);
+    let params = DmcParams {
+        steps: cfg.steps,
+        warmup: cfg.warmup,
+        tau: cfg.tau,
+        target_population: cfg.walkers,
+        recompute_every: 16,
+        seed: cfg.seed ^ 0xD00D,
+    };
+    let t0 = std::time::Instant::now();
+    let (res, profile) = run_dmc_parallel(&mut engines, &mut walkers, &params);
+    let seconds = t0.elapsed().as_secs_f64();
+
+    RunOutcome {
+        label: code.label(),
+        seconds,
+        samples: res.samples,
+        profile,
+        energy: res.energy.blocking(),
+        acceptance: res.acceptance,
+        walker_bytes: walkers.first().map(|w| w.bytes()).unwrap_or(0),
+        engine_bytes: engines.first().map(|e| e.bytes()).unwrap_or(0),
+        table_bytes: workload.table_bytes(code.single_precision()),
+        final_population: walkers.len(),
+    }
+}
+
+/// Runs a DMC benchmark for any code version, dispatching on precision.
+pub fn run_dmc_benchmark(workload: &Workload, code: CodeVersion, cfg: &RunConfig) -> RunOutcome {
+    if code.single_precision() {
+        let engines: Vec<QmcEngine<f32>> = (0..cfg.threads.max(1))
+            .map(|_| workload.build_engine_f32(code))
+            .collect();
+        run_generic(engines, workload, code, cfg)
+    } else {
+        let engines: Vec<QmcEngine<f64>> = (0..cfg.threads.max(1))
+            .map(|_| workload.build_engine_f64(code))
+            .collect();
+        run_generic(engines, workload, code, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Benchmark, Size};
+
+    #[test]
+    fn smoke_run_every_paper_version() {
+        let w = Workload::new(Benchmark::NiO32, Size::Scaled, 9);
+        let cfg = RunConfig {
+            threads: 2,
+            walkers: 2,
+            steps: 3,
+            warmup: 1,
+            tau: 0.002,
+            seed: 7,
+        };
+        for code in CodeVersion::paper_ladder() {
+            let out = run_dmc_benchmark(&w, code, &cfg);
+            assert!(out.seconds > 0.0);
+            assert!(out.samples > 0, "{}", out.label);
+            assert!(out.energy.0.is_finite(), "{} energy", out.label);
+            assert!(out.acceptance > 0.0 && out.acceptance <= 1.0);
+            assert!(out.walker_bytes > 0 && out.engine_bytes > 0);
+            assert!(out.throughput() > 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_ordering_ref_vs_current() {
+        // The headline memory claim: Current walkers are dramatically
+        // smaller than Ref walkers (5N^2 -> 5N Jastrow + f64 -> f32).
+        let w = Workload::new(Benchmark::NiO32, Size::Scaled, 11);
+        let cfg = RunConfig {
+            threads: 1,
+            walkers: 1,
+            steps: 2,
+            warmup: 0,
+            tau: 0.002,
+            seed: 3,
+        };
+        let r = run_dmc_benchmark(&w, CodeVersion::Ref, &cfg);
+        let c = run_dmc_benchmark(&w, CodeVersion::Current, &cfg);
+        assert!(
+            r.walker_bytes > 2 * c.walker_bytes,
+            "Ref walker {} vs Current {}",
+            r.walker_bytes,
+            c.walker_bytes
+        );
+        assert!(r.table_bytes == 2 * c.table_bytes);
+    }
+}

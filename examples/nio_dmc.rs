@@ -1,0 +1,63 @@
+//! The paper's headline experiment as an example: a DMC study of the
+//! NiO-32 supercell across the full optimization ladder, with per-kernel
+//! hot-spot profiles and the node-memory model — Figs. 2, 8 and 9
+//! condensed into one runnable walkthrough.
+//!
+//! ```text
+//! cargo run --release --example nio_dmc            # scaled (laptop) size
+//! cargo run --release --example nio_dmc -- --full  # paper-sized, slow
+//! ```
+
+use qmc::prelude::*;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let size = if full { Size::Full } else { Size::Scaled };
+    let workload = Workload::new(Benchmark::NiO32, size, 42);
+    println!(
+        "NiO-32 at {:?} size: {} electrons, {} ions, {} orbitals/spin\n",
+        size,
+        workload.num_electrons(),
+        workload.num_ions(),
+        workload.num_orbitals()
+    );
+
+    let cfg = RunConfig {
+        threads: 1,
+        walkers: 4,
+        steps: if full { 4 } else { 8 },
+        warmup: 1,
+        tau: 0.005,
+        seed: 42,
+    };
+
+    let ladder = [
+        CodeVersion::Ref,
+        CodeVersion::RefMp,
+        CodeVersion::SoaDouble,
+        CodeVersion::Current,
+    ];
+    let mut base = 0.0;
+    for code in ladder {
+        let out = run_dmc_benchmark(&workload, code, &cfg);
+        let thr = out.throughput();
+        if base == 0.0 {
+            base = thr;
+        }
+        println!(
+            "=== {} ===  {:.1} samples/s ({:.2}x), E = {:.3} +- {:.3}, walker {:.2} MiB",
+            out.label,
+            thr,
+            thr / base,
+            out.energy.0,
+            out.energy.1,
+            out.walker_bytes as f64 / (1 << 20) as f64
+        );
+        print!("{}", out.profile.to_table());
+        println!();
+    }
+    println!(
+        "expected shape (paper Fig. 8): each rung at least as fast as the\n\
+         previous; DistTable and J2 shares collapse between Ref and Current."
+    );
+}

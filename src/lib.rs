@@ -1,0 +1,23 @@
+//! # qmc
+//!
+//! Top-level facade of the QMC workspace: a Rust reproduction of
+//! *"Embracing a new era of highly efficient and productive quantum Monte
+//! Carlo simulations"* (Mathuriya, Luo, Clay, Benali, Shulenburger, Kim —
+//! SC 2017, arXiv:1708.02645).
+//!
+//! The library implements a full diffusion/variational quantum Monte Carlo
+//! engine twice over, along the paper's optimization ladder:
+//!
+//! | version   | layout | precision | Jastrow storage | distance tables |
+//! |-----------|--------|-----------|-----------------|-----------------|
+//! | `Ref`     | AoS    | f64       | `5 N^2` stored  | packed triangle |
+//! | `Ref+MP`  | AoS    | f32/f64   | `5 N^2` stored  | packed triangle |
+//! | `Current` | SoA    | f32/f64   | `5 N` on-the-fly| padded rows + forward update |
+//!
+//! See the [`qmc_core::prelude`] (re-exported here as [`prelude`]) for the
+//! main types, the `examples/` directory for runnable walkthroughs, and
+//! the `qmc-bench` crate for the harnesses that regenerate every figure
+//! and table of the paper's evaluation.
+
+pub use qmc_core::*;
+pub use qmc_core::prelude;

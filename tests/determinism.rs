@@ -1,0 +1,55 @@
+//! Determinism and schedule-independence: per-walker RNG streams make
+//! trajectories reproducible regardless of seed reuse or thread count.
+
+use qmc::prelude::*;
+
+fn cfg(threads: usize) -> RunConfig {
+    RunConfig {
+        threads,
+        walkers: 4,
+        steps: 5,
+        warmup: 1,
+        tau: 0.003,
+        seed: 99,
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_energies() {
+    let w = Workload::new(Benchmark::Graphite, Size::Scaled, 99);
+    let a = run_dmc_benchmark(&w, CodeVersion::Current, &cfg(1));
+    let b = run_dmc_benchmark(&w, CodeVersion::Current, &cfg(1));
+    assert_eq!(a.energy.0, b.energy.0, "single-thread runs must be bitwise");
+    assert_eq!(a.samples, b.samples);
+    assert_eq!(a.final_population, b.final_population);
+}
+
+#[test]
+fn thread_count_does_not_change_the_markov_chains() {
+    // Walkers carry their own RNG streams and branching is serialized, so
+    // the trajectories are identical across crew sizes; only floating
+    // accumulation order differs.
+    let w = Workload::new(Benchmark::Graphite, Size::Scaled, 99);
+    let a = run_dmc_benchmark(&w, CodeVersion::Current, &cfg(1));
+    let b = run_dmc_benchmark(&w, CodeVersion::Current, &cfg(3));
+    assert!(
+        (a.energy.0 - b.energy.0).abs() < 1e-6 * (1.0 + a.energy.0.abs()),
+        "1 thread {} vs 3 threads {}",
+        a.energy.0,
+        b.energy.0
+    );
+    assert_eq!(a.final_population, b.final_population);
+}
+
+#[test]
+fn different_seeds_decorrelate() {
+    let w1 = Workload::new(Benchmark::Graphite, Size::Scaled, 1);
+    let w2 = Workload::new(Benchmark::Graphite, Size::Scaled, 1);
+    let mut c1 = cfg(1);
+    c1.seed = 1;
+    let mut c2 = cfg(1);
+    c2.seed = 2;
+    let a = run_dmc_benchmark(&w1, CodeVersion::Current, &c1);
+    let b = run_dmc_benchmark(&w2, CodeVersion::Current, &c2);
+    assert_ne!(a.energy.0, b.energy.0);
+}
