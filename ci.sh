@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints, release build, workspace tests
+# and a smoke pass over the crowd kernel bench. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== fmt =="
+cargo fmt --all -- --check
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== bench smoke (crowd kernels) =="
+cargo bench -p qmc-bench --bench bench_crowd -- --test
+
+echo "CI OK"

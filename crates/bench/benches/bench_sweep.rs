@@ -37,7 +37,11 @@ fn bench_sweep(c: &mut Criterion) {
         w.build_engine_f64(CodeVersion::SoaDouble),
         "soa_dp",
     );
-    bench_engine(&mut group, w.build_engine_f32(CodeVersion::Current), "current");
+    bench_engine(
+        &mut group,
+        w.build_engine_f32(CodeVersion::Current),
+        "current",
+    );
     group.finish();
 }
 

@@ -9,8 +9,8 @@
 //! be measured using different build options and miniapps" — this binary
 //! is that measurement).
 
-use qmc_bench::{mib, run_best, HarnessConfig};
-use qmc_workloads::{Benchmark, CodeVersion};
+use qmc_bench::{mib, run_best, run_best_batched, HarnessConfig};
+use qmc_workloads::{Batching, Benchmark, CodeVersion};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
@@ -53,6 +53,22 @@ fn main() {
         );
         prev = thr;
     }
+
+    // Final rung: the same Current code driven in lock-step crowds (the
+    // batched mw_* kernel path) instead of walker-at-a-time. Statistics
+    // are bitwise identical to the Current row; only scheduling changes.
+    let crowd = cfg.walkers.max(1);
+    let out = run_best_batched(&w, CodeVersion::Current, &cfg, Batching::Crowd(crowd));
+    let thr = out.throughput();
+    println!(
+        "{:<18} {:>12.1} {:>8.2}x {:>8.2}x {:>12.2} {:>10.2}",
+        format!("{}+crowd({crowd})", out.label),
+        thr,
+        thr / base,
+        thr / prev,
+        mib(out.walker_bytes),
+        out.energy.0
+    );
     println!(
         "\n(each rung should be >= the previous, with the biggest jumps from\n\
          the SoA transformation and its combination with single precision;\n\

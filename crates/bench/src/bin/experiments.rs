@@ -29,9 +29,7 @@ fn main() {
         println!("\n############################################################");
         println!("## {bin}");
         println!("############################################################");
-        let status = Command::new(exe_dir.join(bin))
-            .args(&pass_through)
-            .status();
+        let status = Command::new(exe_dir.join(bin)).args(&pass_through).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {

@@ -11,11 +11,7 @@ use qmc_bench::HarnessConfig;
 use qmc_instrument::{EnergyModel, DEFAULT_DMC_WATTS, DEFAULT_INIT_WATTS};
 use qmc_workloads::{run_dmc_benchmark, Benchmark, CodeVersion, Workload};
 
-fn run_with_phases(
-    w: &Workload,
-    code: CodeVersion,
-    cfg: &HarnessConfig,
-) -> (EnergyModel, f64) {
+fn run_with_phases(w: &Workload, code: CodeVersion, cfg: &HarnessConfig) -> (EnergyModel, f64) {
     // Init phase: engine construction + walker initialization is inside
     // run_dmc_benchmark; approximate the split by timing table build
     // separately (the dominant init cost).

@@ -42,7 +42,6 @@ fn main() {
         machine.ridge(false)
     );
 
-
     let ref_out = run_best(&w, CodeVersion::Ref, &cfg);
     let cur_out = run_best(&w, CodeVersion::Current, &cfg);
 
@@ -89,7 +88,9 @@ fn main() {
         }
     }
 
-    println!("\nkernel speedups Ref -> Current (paper: DistTable 5x, J2 8x, vgh 1.7x, v 1.3x on BDW):");
+    println!(
+        "\nkernel speedups Ref -> Current (paper: DistTable 5x, J2 8x, vgh 1.7x, v 1.3x on BDW):"
+    );
     for &k in &ROOFLINE_KERNELS {
         let sr = ref_out.profile.get(k).seconds();
         let sc = cur_out.profile.get(k).seconds();

@@ -26,7 +26,10 @@ fn main() {
     candidates.dedup();
     let walkers = 2 * 2 * hw; // enough walkers to feed the largest crew
     println!("fixed population {walkers}, code = Current\n");
-    println!("{:>8} {:>9} {:>14} {:>10}", "threads", "thr/hw", "samp/s", "vs 1x hw");
+    println!(
+        "{:>8} {:>9} {:>14} {:>10}",
+        "threads", "thr/hw", "samp/s", "vs 1x hw"
+    );
 
     let mut at_hw = 0.0f64;
     for &threads in &candidates {

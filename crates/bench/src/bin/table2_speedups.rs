@@ -12,12 +12,14 @@ fn main() {
     let cfg = HarnessConfig::from_env();
     println!("== Table 2: speedup of Current over Ref ==\n");
     println!("paper values for reference:");
-    println!("{:<8} {:>10} {:>8} {:>8} {:>8}", "", "Graphite", "Be-64", "NiO-32", "NiO-64");
+    println!(
+        "{:<8} {:>10} {:>8} {:>8} {:>8}",
+        "", "Graphite", "Be-64", "NiO-32", "NiO-64"
+    );
     println!("{:<8} {:>10} {:>8} {:>8} {:>8}", "BG/Q", 1.6, 1.3, 1.3, 2.4);
     println!("{:<8} {:>10} {:>8} {:>8} {:>8}", "BDW", 2.9, 3.4, 2.6, 5.2);
     println!("{:<8} {:>10} {:>8} {:>8} {:>8}", "KNL", 2.2, 2.9, 2.4, 2.4);
     println!();
-
 
     print!("{:<8}", "host");
     let mut speedups = Vec::new();
@@ -34,9 +36,16 @@ fn main() {
     for (name, s) in &speedups {
         println!("  {name:<10} {s:.2}x");
     }
-    let min = speedups.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
+    let min = speedups
+        .iter()
+        .map(|(_, s)| *s)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "\nall speedups >= 1: {}",
-        if min >= 1.0 { "yes" } else { "NO (investigate)" }
+        if min >= 1.0 {
+            "yes"
+        } else {
+            "NO (investigate)"
+        }
     );
 }

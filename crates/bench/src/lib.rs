@@ -69,6 +69,7 @@ impl HarnessConfig {
             warmup: (self.steps / 4).max(1),
             tau: 0.005,
             seed: self.seed,
+            ..Default::default()
         }
     }
 
@@ -86,7 +87,21 @@ pub fn run_best(
     code: CodeVersion,
     cfg: &HarnessConfig,
 ) -> qmc_workloads::RunOutcome {
-    let rc = cfg.run_config();
+    run_best_batched(workload, code, cfg, qmc_workloads::Batching::PerWalker)
+}
+
+/// [`run_best`] with an explicit walker-batching mode, for comparing the
+/// per-walker drive against lock-step crowds of the same population.
+pub fn run_best_batched(
+    workload: &Workload,
+    code: CodeVersion,
+    cfg: &HarnessConfig,
+    batching: qmc_workloads::Batching,
+) -> qmc_workloads::RunOutcome {
+    let rc = RunConfig {
+        batching,
+        ..cfg.run_config()
+    };
     let mut best: Option<qmc_workloads::RunOutcome> = None;
     for _ in 0..cfg.reps.max(1) {
         let out = qmc_workloads::run_dmc_benchmark(workload, code, &rc);

@@ -355,6 +355,131 @@ impl<T: Real> MultiBspline3D<T> {
         self.scale_derivatives(grad, hess);
     }
 
+    /// Fused value + *Cartesian* gradient + Laplacian evaluation.
+    ///
+    /// Instead of accumulating the ten value/gradient/Hessian slabs and
+    /// transforming per orbital afterwards (the `evaluate_vgh` + SPO-vgl
+    /// two-pass path), the lattice transform is precontracted into the
+    /// per-node stencil weights: `gmat` is the fractional-to-Cartesian
+    /// gradient matrix (`CrystalLattice::grad_transform`) and `lapmet` the
+    /// packed Laplacian metric with doubled off-diagonals
+    /// (`CrystalLattice::laplacian_metric`). Grid scaling is folded into the
+    /// one-dimensional weights, so only **five** accumulation slabs stream
+    /// through memory per node (value, three Cartesian gradients,
+    /// Laplacian) instead of ten plus a transform pass.
+    ///
+    /// `grad` holds three slabs of `num_splines` Cartesian components; this
+    /// path is *not* bit-identical to `evaluate_vgh` + transform (different
+    /// summation order), so the drivers keep it out of the
+    /// determinism-critical sweep and use it for batched SPO evaluation.
+    pub fn evaluate_vgl(
+        &self,
+        u: [T; 3],
+        gmat: &[[T; 3]; 3],
+        lapmet: &[T; 6],
+        psi: &mut [T],
+        grad: &mut [T],
+        lap: &mut [T],
+    ) {
+        let ns = self.num_splines;
+        assert!(psi.len() >= ns && grad.len() >= 3 * ns && lap.len() >= ns);
+        let (ix, ux) = self.locate(u[0], self.grid[0]);
+        let (iy, uy) = self.locate(u[1], self.grid[1]);
+        let (iz, uz) = self.locate(u[2], self.grid[2]);
+        let (wx, mut dwx, mut d2wx) = bspline_weights(ux);
+        let (wy, mut dwy, mut d2wy) = bspline_weights(uy);
+        let (wz, mut dwz, mut d2wz) = bspline_weights(uz);
+        // Fold grid-unit -> fractional derivative scaling into the 1D
+        // weights (grad x n, hess x n^2 per differentiated axis).
+        let n = [
+            T::from_usize(self.grid[0]),
+            T::from_usize(self.grid[1]),
+            T::from_usize(self.grid[2]),
+        ];
+        for k in 0..4 {
+            dwx[k] *= n[0];
+            dwy[k] *= n[1];
+            dwz[k] *= n[2];
+            d2wx[k] *= n[0] * n[0];
+            d2wy[k] *= n[1] * n[1];
+            d2wz[k] *= n[2] * n[2];
+        }
+        psi[..ns].fill(T::ZERO);
+        grad[..3 * ns].fill(T::ZERO);
+        lap[..ns].fill(T::ZERO);
+        for a in 0..4 {
+            for b in 0..4 {
+                for c in 0..4 {
+                    let wv = wx[a] * wy[b] * wz[c];
+                    // Fractional gradient weights, grid scaling included.
+                    let gf = [
+                        dwx[a] * wy[b] * wz[c],
+                        wx[a] * dwy[b] * wz[c],
+                        wx[a] * wy[b] * dwz[c],
+                    ];
+                    // Precontracted Cartesian gradient weights.
+                    let cg = [
+                        gmat[0][0] * gf[0] + gmat[0][1] * gf[1] + gmat[0][2] * gf[2],
+                        gmat[1][0] * gf[0] + gmat[1][1] * gf[1] + gmat[1][2] * gf[2],
+                        gmat[2][0] * gf[0] + gmat[2][1] * gf[1] + gmat[2][2] * gf[2],
+                    ];
+                    // Laplacian weight: packed Hessian stencil contracted
+                    // with the metric (off-diagonals pre-doubled).
+                    let wl = lapmet[0] * (d2wx[a] * wy[b] * wz[c])
+                        + lapmet[1] * (dwx[a] * dwy[b] * wz[c])
+                        + lapmet[2] * (dwx[a] * wy[b] * dwz[c])
+                        + lapmet[3] * (wx[a] * d2wy[b] * wz[c])
+                        + lapmet[4] * (wx[a] * dwy[b] * dwz[c])
+                        + lapmet[5] * (wx[a] * wy[b] * d2wz[c]);
+                    let base = self.idx(ix + a, iy + b, iz + c);
+                    let coefs = &self.coefs[base..base + ns];
+                    for (p, &cf) in psi[..ns].iter_mut().zip(coefs) {
+                        *p = wv.mul_add(cf, *p);
+                    }
+                    for d in 0..3 {
+                        let g = &mut grad[d * ns..(d + 1) * ns];
+                        let wd = cg[d];
+                        for (p, &cf) in g.iter_mut().zip(coefs) {
+                            *p = wd.mul_add(cf, *p);
+                        }
+                    }
+                    for (p, &cf) in lap[..ns].iter_mut().zip(coefs) {
+                        *p = wl.mul_add(cf, *p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Multi-walker fused VGL: evaluates `us.len()` positions against the
+    /// shared coefficient table in one call. Outputs are walker-major —
+    /// walker `w` owns `psi[w*ns..]`, `grad[w*3*ns..]`, `lap[w*ns..]`.
+    /// Per-walker results are bit-identical to [`Self::evaluate_vgl`] at
+    /// the same position (each walker is an independent accumulation).
+    pub fn mw_evaluate_vgl(
+        &self,
+        us: &[[T; 3]],
+        gmat: &[[T; 3]; 3],
+        lapmet: &[T; 6],
+        psi: &mut [T],
+        grad: &mut [T],
+        lap: &mut [T],
+    ) {
+        let ns = self.num_splines;
+        let nw = us.len();
+        assert!(psi.len() >= nw * ns && grad.len() >= nw * 3 * ns && lap.len() >= nw * ns);
+        for (w, &u) in us.iter().enumerate() {
+            self.evaluate_vgl(
+                u,
+                gmat,
+                lapmet,
+                &mut psi[w * ns..(w + 1) * ns],
+                &mut grad[w * 3 * ns..(w + 1) * 3 * ns],
+                &mut lap[w * ns..(w + 1) * ns],
+            );
+        }
+    }
+
     /// Reference value-only evaluation: spline index outermost (the
     /// per-orbital strided pattern of the baseline code).
     pub fn evaluate_v_ref(&self, u: [T; 3], psi: &mut [T]) {
@@ -581,6 +706,86 @@ mod tests {
                     h[hidx * ns + s]
                 );
             }
+        }
+    }
+
+    /// Gradient matrix / Laplacian metric of an orthorhombic cell with
+    /// edges `l` (mirrors `CrystalLattice::{grad_transform,
+    /// laplacian_metric}` without a qmc-particles dependency).
+    fn ortho_transforms(l: [f64; 3]) -> ([[f64; 3]; 3], [f64; 6]) {
+        let gmat = [
+            [1.0 / l[0], 0.0, 0.0],
+            [0.0, 1.0 / l[1], 0.0],
+            [0.0, 0.0, 1.0 / l[2]],
+        ];
+        let lapmet = [
+            1.0 / (l[0] * l[0]),
+            0.0,
+            0.0,
+            1.0 / (l[1] * l[1]),
+            0.0,
+            1.0 / (l[2] * l[2]),
+        ];
+        (gmat, lapmet)
+    }
+
+    #[test]
+    fn fused_vgl_matches_vgh_plus_transform() {
+        let t = MultiBspline3D::<f64>::random([6, 5, 7], 9, 42);
+        let ns = 9;
+        let u = [0.37, 0.81, 0.12];
+        let l = [3.0, 4.0, 5.0];
+        let (gmat, lapmet) = ortho_transforms(l);
+        // Two-pass reference: vgh then per-orbital lattice transform.
+        let mut p_ref = vec![0.0; ns];
+        let mut g_frac = vec![0.0; 3 * ns];
+        let mut h_frac = vec![0.0; 6 * ns];
+        t.evaluate_vgh(u, &mut p_ref, &mut g_frac, &mut h_frac);
+        let mut g_ref = vec![0.0; 3 * ns];
+        let mut l_ref = vec![0.0; ns];
+        for s in 0..ns {
+            for d in 0..3 {
+                g_ref[d * ns + s] = (0..3).map(|e| gmat[d][e] * g_frac[e * ns + s]).sum::<f64>();
+            }
+            l_ref[s] = (0..6).map(|k| lapmet[k] * h_frac[k * ns + s]).sum::<f64>();
+        }
+        // Fused single pass.
+        let mut p = vec![0.0; ns];
+        let mut g = vec![0.0; 3 * ns];
+        let mut lap = vec![0.0; ns];
+        t.evaluate_vgl(u, &gmat, &lapmet, &mut p, &mut g, &mut lap);
+        for s in 0..ns {
+            assert!((p[s] - p_ref[s]).abs() < 1e-13, "value s={s}");
+            assert!((lap[s] - l_ref[s]).abs() < 1e-9, "lap s={s}");
+        }
+        for i in 0..3 * ns {
+            assert!((g[i] - g_ref[i]).abs() < 1e-10, "grad {i}");
+        }
+    }
+
+    #[test]
+    fn mw_vgl_bitwise_matches_single_walker() {
+        let t = MultiBspline3D::<f64>::random([5, 6, 4], 5, 8);
+        let ns = 5;
+        let (gmat, lapmet) = ortho_transforms([2.0, 3.0, 4.0]);
+        let us = [[0.1, 0.9, 0.4], [0.63, 0.08, 0.77], [0.5, 0.5, 0.5]];
+        let nw = us.len();
+        let mut psi = vec![0.0; nw * ns];
+        let mut grad = vec![0.0; nw * 3 * ns];
+        let mut lap = vec![0.0; nw * ns];
+        t.mw_evaluate_vgl(&us, &gmat, &lapmet, &mut psi, &mut grad, &mut lap);
+        for (w, &u) in us.iter().enumerate() {
+            let mut p1 = vec![0.0; ns];
+            let mut g1 = vec![0.0; 3 * ns];
+            let mut l1 = vec![0.0; ns];
+            t.evaluate_vgl(u, &gmat, &lapmet, &mut p1, &mut g1, &mut l1);
+            assert_eq!(&psi[w * ns..(w + 1) * ns], &p1[..], "walker {w} psi");
+            assert_eq!(
+                &grad[w * 3 * ns..(w + 1) * 3 * ns],
+                &g1[..],
+                "walker {w} grad"
+            );
+            assert_eq!(&lap[w * ns..(w + 1) * ns], &l1[..], "walker {w} lap");
         }
     }
 

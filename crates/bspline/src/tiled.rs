@@ -125,7 +125,12 @@ impl<T: Real> TiledMultiBspline3D<T> {
         let mut th = vec![T::ZERO; 6 * self.tile_width];
         for tile in &self.tiles {
             let w = tile.num_splines();
-            tile.evaluate_vgh(u, &mut psi[first..first + w], &mut tg[..3 * w], &mut th[..6 * w]);
+            tile.evaluate_vgh(
+                u,
+                &mut psi[first..first + w],
+                &mut tg[..3 * w],
+                &mut th[..6 * w],
+            );
             for d in 0..3 {
                 grad[d * ns + first..d * ns + first + w].copy_from_slice(&tg[d * w..(d + 1) * w]);
             }
@@ -150,7 +155,7 @@ mod tests {
         let grid = [6, 6, 6];
         let ns = 10;
         let mut mono = MultiBspline3D::<f64>::zeros(grid, ns);
-        mono.set_control_points(|ix, iy, iz, s| field(ix, iy, iz, s));
+        mono.set_control_points(field);
         let tiled = TiledMultiBspline3D::<f64>::from_fn(grid, ns, 4, field);
         assert_eq!(tiled.num_tiles(), 3); // 4 + 4 + 2
 
@@ -171,7 +176,7 @@ mod tests {
         let grid = [5, 5, 5];
         let ns = 7;
         let mut mono = MultiBspline3D::<f64>::zeros(grid, ns);
-        mono.set_control_points(|ix, iy, iz, s| field(ix, iy, iz, s));
+        mono.set_control_points(field);
         let tiled = TiledMultiBspline3D::<f64>::from_fn(grid, ns, 3, field);
 
         let u = [0.4, 0.6, 0.8];

@@ -12,6 +12,7 @@
 
 pub use qmc_bspline as bspline;
 pub use qmc_containers as containers;
+pub use qmc_crowd as crowd;
 pub use qmc_drivers as drivers;
 pub use qmc_hamiltonian as hamiltonian;
 pub use qmc_instrument as instrument;
@@ -23,8 +24,9 @@ pub use qmc_workloads as workloads;
 /// Frequently used items in one import.
 pub mod prelude {
     pub use qmc_containers::{Matrix, Pos, Real, TinyVector, VectorSoaContainer};
+    pub use qmc_crowd::{run_dmc_crowd, run_vmc_crowd, Crowd, CrowdScheduler};
     pub use qmc_drivers::{
-        initial_population, run_dmc, run_dmc_parallel, run_vmc, DmcParams, DmcResult,
+        initial_population, run_dmc, run_dmc_parallel, run_vmc, Batching, DmcParams, DmcResult,
         HamiltonianSet, QmcEngine, VmcParams, Walker,
     };
     pub use qmc_hamiltonian::{kinetic_energy, CoulombEE, CoulombEI, LocalEnergy, NonLocalPP};

@@ -13,7 +13,9 @@
 //! assert!(result.throughput() > 0.0);
 //! ```
 
-use qmc_workloads::{run_dmc_benchmark, Benchmark, CodeVersion, RunConfig, RunOutcome, Size, Workload};
+use qmc_workloads::{
+    run_dmc_benchmark, Benchmark, CodeVersion, RunConfig, RunOutcome, Size, Workload,
+};
 
 /// Fluent builder around [`run_dmc_benchmark`].
 pub struct Simulation {

@@ -1,0 +1,82 @@
+//! Crowd DMC driver: the generation loop of `run_dmc_parallel` with
+//! lock-step crowds in place of per-walker engine streaming.
+
+use crate::crowd::Crowd;
+use crate::scheduler::CrowdScheduler;
+use parking_lot::Mutex;
+use qmc_containers::Real;
+use qmc_drivers::{chunks_mut, BranchController, DmcParams, DmcResult, ScalarEstimator, Walker};
+use qmc_instrument::{drain_thread_profile, Profile};
+
+/// Runs DMC across a crew of crowds (one crowd per thread). Walker
+/// initialization, branching, trial-energy feedback and the energy
+/// reduction all follow the per-walker parallel driver exactly, so the
+/// result is bit-identical to `run_dmc_parallel` for any crowd size.
+pub fn run_dmc_crowd<T: Real>(
+    crowds: &mut [Crowd<T>],
+    walkers: &mut Vec<Walker<T>>,
+    params: &DmcParams,
+) -> (DmcResult, Profile) {
+    assert!(!crowds.is_empty());
+    let profile = Mutex::new(Profile::default());
+
+    // Parallel walker initialization over the same contiguous chunks.
+    std::thread::scope(|scope| {
+        let chunks = chunks_mut(walkers, crowds.len());
+        for (crowd, chunk) in crowds.iter_mut().zip(chunks) {
+            let profile = &profile;
+            scope.spawn(move || {
+                qmc_instrument::enable_ftz();
+                for w in chunk.iter_mut() {
+                    crowd.slot_mut(0).init_walker(w);
+                }
+                profile.lock().merge(&drain_thread_profile());
+            });
+        }
+    });
+    let e0 = if walkers.is_empty() {
+        0.0
+    } else {
+        walkers.iter().map(|w| w.e_local).sum::<f64>() / walkers.len() as f64
+    };
+    let mut branch = BranchController::new(params.target_population, e0, params.tau, params.seed);
+
+    let mut energy = ScalarEstimator::new();
+    let mut population = Vec::with_capacity(params.steps);
+    let (mut accepted, mut attempted) = (0usize, 0usize);
+    let mut samples = 0u64;
+
+    for step in 0..params.steps {
+        let refresh = params.recompute_every > 0 && step % params.recompute_every == 0;
+        let (esum, wsum, acc, att) =
+            CrowdScheduler::generation(crowds, walkers, params.tau, refresh, &branch, &profile);
+        accepted += acc;
+        attempted += att;
+        let e_avg = if wsum > 0.0 { esum / wsum } else { e0 };
+        if step >= params.warmup {
+            energy.push(e_avg, wsum);
+            samples += walkers.len() as u64;
+        }
+        population.push(walkers.len());
+        branch.branch(walkers);
+        branch.update_trial_energy(e_avg, walkers.len());
+    }
+
+    // Fold the coordinator thread's own profile (branching etc.).
+    profile.lock().merge(&drain_thread_profile());
+
+    (
+        DmcResult {
+            energy,
+            population,
+            acceptance: if attempted > 0 {
+                accepted as f64 / attempted as f64
+            } else {
+                0.0
+            },
+            samples,
+            e_trial: branch.e_trial,
+        },
+        profile.into_inner(),
+    )
+}

@@ -1,0 +1,28 @@
+//! # qmc-crowd
+//!
+//! Crowd-based batched walker execution, after the hierarchical
+//! parallelism of QMCPACK's performance-portable drivers: a [`Crowd`] of
+//! engines advances its walkers through the particle-by-particle
+//! drift-diffusion sweep in lock-step, so every stage hands the
+//! wavefunction layer a multi-walker batch (`TrialWaveFunction::mw_*`,
+//! `SpoSet::mw_evaluate_vgl`, `qmc_particles::mw_candidate_rows`) instead
+//! of one walker's worth of work.
+//!
+//! The [`CrowdScheduler`] maps crowds onto the thread crew exactly like
+//! `qmc_drivers::parallel` maps single engines: contiguous walker chunks
+//! per thread, walker-order energy reduction. Combined with per-walker
+//! RNG streams and unchanged per-walker floating-point op sequences, the
+//! crowd drivers [`run_vmc_crowd`] and [`run_dmc_crowd`] are bit-identical
+//! to their per-walker counterparts for any crowd size and thread count —
+//! batching is purely an execution-shape choice
+//! (`qmc_drivers::Batching`).
+
+pub mod crowd;
+pub mod dmc;
+pub mod scheduler;
+pub mod vmc;
+
+pub use crowd::Crowd;
+pub use dmc::run_dmc_crowd;
+pub use scheduler::CrowdScheduler;
+pub use vmc::run_vmc_crowd;

@@ -1,0 +1,122 @@
+//! [`CrowdScheduler`]: maps crowds onto the thread crew.
+//!
+//! Mirrors the per-walker crew of `qmc_drivers::parallel`: one worker
+//! thread per crowd, contiguous walker chunks per thread, and walkers
+//! streamed through each crowd in crowd-sized lock-step blocks. The
+//! chunking and the walker-order energy reduction are identical to the
+//! per-walker path, so the branch controller sees bit-identical input for
+//! any thread count and crowd size.
+
+use crate::crowd::Crowd;
+use parking_lot::Mutex;
+use qmc_containers::Real;
+use qmc_drivers::{chunks_mut, BranchController, QmcEngine, Walker};
+use qmc_instrument::{drain_thread_profile, Profile};
+
+/// Builds crowds for a thread crew and runs lock-step DMC generations
+/// over them.
+#[derive(Clone, Copy, Debug)]
+pub struct CrowdScheduler {
+    threads: usize,
+    crowd_size: usize,
+}
+
+impl CrowdScheduler {
+    /// A scheduler for `threads` crowds of `crowd_size` walkers each
+    /// (both floored at 1).
+    pub fn new(threads: usize, crowd_size: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            crowd_size: crowd_size.max(1),
+        }
+    }
+
+    /// Worker threads (one crowd each).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Walkers per lock-step block.
+    pub fn crowd_size(&self) -> usize {
+        self.crowd_size
+    }
+
+    /// Total engines the crew will own.
+    pub fn num_engines(&self) -> usize {
+        self.threads * self.crowd_size
+    }
+
+    /// Instantiates one crowd per thread from an engine factory.
+    pub fn build_crowds<T: Real>(
+        &self,
+        mut factory: impl FnMut() -> QmcEngine<T>,
+    ) -> Vec<Crowd<T>> {
+        (0..self.threads)
+            .map(|_| Crowd::new((0..self.crowd_size).map(|_| factory()).collect()))
+            .collect()
+    }
+
+    /// One DMC generation: each thread streams its contiguous walker
+    /// chunk through its crowd in lock-step blocks (sweep, then measure /
+    /// reweight / store in slot order). Returns
+    /// `(sum w*E, sum w, accepted, attempted)` with the energy sums
+    /// reduced sequentially in walker order after the parallel section —
+    /// the same reduction as `qmc_drivers::parallel_generation`, so the
+    /// result is bit-identical to the per-walker drive.
+    pub fn generation<T: Real>(
+        crowds: &mut [Crowd<T>],
+        walkers: &mut [Walker<T>],
+        tau: f64,
+        refresh: bool,
+        branch: &BranchController,
+        profile: &Mutex<Profile>,
+    ) -> (f64, f64, usize, usize) {
+        if walkers.is_empty() {
+            return (0.0, 0.0, 0, 0);
+        }
+        let counts = Mutex::new((0usize, 0usize));
+        std::thread::scope(|scope| {
+            let chunks = chunks_mut(walkers, crowds.len());
+            for (crowd, chunk) in crowds.iter_mut().zip(chunks) {
+                let counts = &counts;
+                let profile = &profile;
+                scope.spawn(move || {
+                    qmc_instrument::enable_ftz();
+                    let (mut acc, mut att) = (0usize, 0usize);
+                    let cs = crowd.size();
+                    for block in chunk.chunks_mut(cs) {
+                        for (s, w) in block.iter_mut().enumerate() {
+                            crowd.slot_mut(s).load_walker(w);
+                            if refresh {
+                                crowd.slot_mut(s).refresh_from_scratch();
+                            }
+                        }
+                        let stats = crowd.sweep(block, tau);
+                        for (s, w) in block.iter_mut().enumerate() {
+                            acc += stats[s].accepted;
+                            att += stats[s].attempted;
+                            let e = crowd.slot_mut(s);
+                            let el = e.measure(&mut w.rng).total();
+                            let factor = branch.weight_factor(w.e_local, el);
+                            w.weight *= factor;
+                            w.age = if stats[s].accepted == 0 { w.age + 1 } else { 0 };
+                            w.e_local = el;
+                            e.store_walker(w);
+                        }
+                    }
+                    let mut c = counts.lock();
+                    c.0 += acc;
+                    c.1 += att;
+                    profile.lock().merge(&drain_thread_profile());
+                });
+            }
+        });
+        let (acc, att) = counts.into_inner();
+        let (mut esum, mut wsum) = (0.0f64, 0.0f64);
+        for w in walkers.iter() {
+            esum += w.weight * w.e_local;
+            wsum += w.weight;
+        }
+        (esum, wsum, acc, att)
+    }
+}

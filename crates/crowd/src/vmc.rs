@@ -1,0 +1,72 @@
+//! Crowd VMC driver: the block/step loop of `run_vmc` with lock-step
+//! crowd blocks in place of one-walker-at-a-time sweeps.
+
+use crate::crowd::Crowd;
+use qmc_containers::Real;
+use qmc_drivers::{ScalarEstimator, VmcParams, VmcResult, Walker};
+
+/// Runs VMC on one crowd over a set of walkers. Walkers stream through
+/// the crowd in crowd-sized blocks; within a block every step advances
+/// all resident walkers in lock-step. Local-energy samples are buffered
+/// per slot and pushed walker-major after the block's steps, so the
+/// estimator ingests them in exactly the order of the per-walker driver —
+/// the result is bit-identical to `run_vmc` for any crowd size.
+pub fn run_vmc_crowd<T: Real>(
+    crowd: &mut Crowd<T>,
+    walkers: &mut [Walker<T>],
+    params: &VmcParams,
+) -> VmcResult {
+    qmc_instrument::enable_ftz();
+    let mut energy = ScalarEstimator::new();
+    let mut accepted = 0usize;
+    let mut attempted = 0usize;
+    let mut samples = 0u64;
+
+    for w in walkers.iter_mut() {
+        crowd.slot_mut(0).init_walker(w);
+    }
+
+    let cs = crowd.size();
+    let mut buffered: Vec<Vec<f64>> = vec![Vec::new(); cs];
+    for _block in 0..params.blocks {
+        for block in walkers.chunks_mut(cs) {
+            for (s, w) in block.iter_mut().enumerate() {
+                crowd.slot_mut(s).load_walker(w);
+                // Per-block mixed-precision hygiene, as in `run_vmc`.
+                crowd.slot_mut(s).refresh_from_scratch();
+                buffered[s].clear();
+            }
+            for step in 0..params.steps_per_block {
+                let stats = crowd.sweep(block, params.tau);
+                for st in &stats {
+                    accepted += st.accepted;
+                    attempted += st.attempted;
+                }
+                samples += block.len() as u64;
+                if step % params.measure_every == 0 {
+                    for (s, w) in block.iter_mut().enumerate() {
+                        let el = crowd.slot_mut(s).measure(&mut w.rng);
+                        w.e_local = el.total();
+                        buffered[s].push(w.e_local);
+                    }
+                }
+            }
+            for (s, w) in block.iter_mut().enumerate() {
+                crowd.slot_mut(s).store_walker(w);
+                for &e in &buffered[s] {
+                    energy.push(e, 1.0);
+                }
+            }
+        }
+    }
+
+    VmcResult {
+        energy,
+        acceptance: if attempted > 0 {
+            accepted as f64 / attempted as f64
+        } else {
+            0.0
+        },
+        samples,
+    }
+}

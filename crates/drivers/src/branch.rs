@@ -45,6 +45,11 @@ impl BranchController {
     /// `floor(weight + u)` times (u uniform), children carrying unit-ish
     /// weights. Walkers over `max_age` generations old are forcibly kept.
     pub fn branch<T: Real>(&mut self, walkers: &mut Vec<Walker<T>>) {
+        // An empty population stays empty (drivers guard against it, but
+        // branching must not manufacture walkers or panic).
+        if walkers.is_empty() {
+            return;
+        }
         // The heaviest walker is always kept (QMCPACK-style minimum-walker
         // guard), so tiny populations cannot go extinct during
         // equilibration transients.

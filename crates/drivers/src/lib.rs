@@ -18,6 +18,7 @@
 // job obvious); iterator zips would obscure them.
 #![allow(clippy::needless_range_loop)]
 
+pub mod batching;
 pub mod branch;
 pub mod dmc;
 pub mod engine;
@@ -28,11 +29,12 @@ pub mod serialize;
 pub mod vmc;
 pub mod walker;
 
+pub use batching::Batching;
 pub use branch::BranchController;
 pub use dmc::{run_dmc, DmcParams, DmcResult};
 pub use engine::{limited_drift, HamiltonianSet, QmcEngine, SweepStats};
 pub use estimator::ScalarEstimator;
-pub use parallel::{parallel_generation, run_dmc_parallel};
+pub use parallel::{chunks_mut, parallel_generation, run_dmc_parallel};
 pub use ranks::{run_multi_rank, MultiRankParams, MultiRankResult};
 pub use serialize::{deserialize_walker, serialize_walker};
 pub use vmc::{run_vmc, VmcParams, VmcResult};

@@ -17,9 +17,13 @@ use qmc_containers::Real;
 use qmc_instrument::{drain_thread_profile, Profile};
 
 /// Splits `items` into `parts` contiguous chunks of near-equal size.
-fn chunks_mut<I>(items: &mut [I], parts: usize) -> Vec<&mut [I]> {
+/// An empty slice yields no chunks at all (no idle worker threads).
+pub fn chunks_mut<I>(items: &mut [I], parts: usize) -> Vec<&mut [I]> {
     let n = items.len();
-    let parts = parts.max(1).min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1).min(n);
     let base = n / parts;
     let extra = n % parts;
     let mut out = Vec::with_capacity(parts);
@@ -36,6 +40,11 @@ fn chunks_mut<I>(items: &mut [I], parts: usize) -> Vec<&mut [I]> {
 /// One parallel DMC generation: sweep + measure every walker using the
 /// per-thread engines. Returns `(sum w*E, sum w, accepted, attempted)` and
 /// merges worker kernel profiles into `profile`.
+///
+/// The energy/weight sums are reduced *sequentially in walker order* from
+/// the stored per-walker fields after the parallel section, so the result
+/// is bit-identical for any thread count (only the order-independent
+/// integer counters are merged under the lock).
 pub fn parallel_generation<T: Real>(
     engines: &mut [QmcEngine<T>],
     walkers: &mut [Walker<T>],
@@ -44,16 +53,19 @@ pub fn parallel_generation<T: Real>(
     branch: &BranchController,
     profile: &Mutex<Profile>,
 ) -> (f64, f64, usize, usize) {
+    if walkers.is_empty() {
+        return (0.0, 0.0, 0, 0);
+    }
     let nthreads = engines.len();
-    let chunks = chunks_mut(walkers, nthreads);
-    let results = Mutex::new((0.0f64, 0.0f64, 0usize, 0usize));
+    let counts = Mutex::new((0usize, 0usize));
     std::thread::scope(|scope| {
+        let chunks = chunks_mut(walkers, nthreads);
         for (engine, chunk) in engines.iter_mut().zip(chunks) {
-            let results = &results;
+            let counts = &counts;
             let profile = &profile;
             scope.spawn(move || {
                 qmc_instrument::enable_ftz();
-                let (mut esum, mut wsum, mut acc, mut att) = (0.0, 0.0, 0usize, 0usize);
+                let (mut acc, mut att) = (0usize, 0usize);
                 for w in chunk.iter_mut() {
                     engine.load_walker(w);
                     if refresh {
@@ -68,19 +80,21 @@ pub fn parallel_generation<T: Real>(
                     w.age = if stats.accepted == 0 { w.age + 1 } else { 0 };
                     w.e_local = el;
                     engine.store_walker(w);
-                    esum += w.weight * el;
-                    wsum += w.weight;
                 }
-                let mut r = results.lock();
-                r.0 += esum;
-                r.1 += wsum;
-                r.2 += acc;
-                r.3 += att;
+                let mut c = counts.lock();
+                c.0 += acc;
+                c.1 += att;
                 profile.lock().merge(&drain_thread_profile());
             });
         }
     });
-    results.into_inner()
+    let (acc, att) = counts.into_inner();
+    let (mut esum, mut wsum) = (0.0f64, 0.0f64);
+    for w in walkers.iter() {
+        esum += w.weight * w.e_local;
+        wsum += w.weight;
+    }
+    (esum, wsum, acc, att)
 }
 
 /// Runs DMC across a crew of engines (one per thread). Walker
@@ -111,7 +125,11 @@ pub fn run_dmc_parallel<T: Real>(
             }
         });
     }
-    let e0 = walkers.iter().map(|w| w.e_local).sum::<f64>() / walkers.len() as f64;
+    let e0 = if walkers.is_empty() {
+        0.0
+    } else {
+        walkers.iter().map(|w| w.e_local).sum::<f64>() / walkers.len() as f64
+    };
     let mut branch = BranchController::new(params.target_population, e0, params.tau, params.seed);
 
     let mut energy = ScalarEstimator::new();
@@ -173,5 +191,23 @@ mod tests {
         let mut v: Vec<usize> = (0..2).collect();
         let chunks = chunks_mut(&mut v, 8);
         assert_eq!(chunks.len(), 2);
+    }
+
+    #[test]
+    fn chunking_empty_items_yields_no_chunks() {
+        let mut v: Vec<usize> = Vec::new();
+        assert!(chunks_mut(&mut v, 4).is_empty());
+        assert!(chunks_mut(&mut v, 0).is_empty());
+    }
+
+    #[test]
+    fn empty_population_generation_is_a_noop() {
+        let branch = BranchController::new(8, -1.0, 0.01, 7);
+        let profile = Mutex::new(Profile::default());
+        let mut engines: Vec<QmcEngine<f64>> = Vec::new();
+        let mut walkers: Vec<Walker<f64>> = Vec::new();
+        let (esum, wsum, acc, att) =
+            parallel_generation(&mut engines, &mut walkers, 0.01, true, &branch, &profile);
+        assert_eq!((esum, wsum, acc, att), (0.0, 0.0, 0, 0));
     }
 }

@@ -137,10 +137,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything_but_rng_key() {
         let mut w = Walker::<f32>::new(
-            vec![
-                TinyVector([1.0, 2.0, 3.0]),
-                TinyVector([-4.5, 0.25, 9.125]),
-            ],
+            vec![TinyVector([1.0, 2.0, 3.0]), TinyVector([-4.5, 0.25, 9.125])],
             7,
         );
         w.weight = 1.75;

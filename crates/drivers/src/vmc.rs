@@ -4,6 +4,7 @@
 //! against analytic systems, and as the lightweight counterpart of the DMC
 //! driver in the benchmarks.
 
+use crate::batching::Batching;
 use crate::engine::QmcEngine;
 use crate::estimator::ScalarEstimator;
 use crate::walker::Walker;
@@ -20,6 +21,9 @@ pub struct VmcParams {
     pub tau: f64,
     /// Measure the local energy every `measure_every` sweeps.
     pub measure_every: usize,
+    /// Walker batching strategy (the crowd drive lives in `qmc-crowd`;
+    /// [`run_vmc`] itself always executes per-walker).
+    pub batching: Batching,
 }
 
 impl Default for VmcParams {
@@ -29,6 +33,7 @@ impl Default for VmcParams {
             steps_per_block: 20,
             tau: 0.3,
             measure_every: 1,
+            batching: Batching::PerWalker,
         }
     }
 }

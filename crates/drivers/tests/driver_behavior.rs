@@ -63,6 +63,7 @@ fn acceptance_approaches_one_as_tau_vanishes() {
             steps_per_block: 10,
             tau: 1e-6,
             measure_every: 5,
+            ..Default::default()
         },
     );
     assert!(res.acceptance > 0.99, "acceptance {}", res.acceptance);
@@ -81,6 +82,7 @@ fn acceptance_drops_for_large_tau() {
                 steps_per_block: 10,
                 tau: 0.05,
                 measure_every: 5,
+                ..Default::default()
             },
         )
         .acceptance
@@ -96,6 +98,7 @@ fn acceptance_drops_for_large_tau() {
                 steps_per_block: 10,
                 tau: 2.0,
                 measure_every: 5,
+                ..Default::default()
             },
         )
         .acceptance
@@ -122,6 +125,7 @@ fn dmc_population_feedback_recovers_from_overpopulation() {
             target_population: 8,
             recompute_every: 10,
             seed: 13,
+            ..Default::default()
         },
     );
     let final_pop = *res.population.last().unwrap();
@@ -140,6 +144,7 @@ fn vmc_samples_counted_correctly() {
         steps_per_block: 5,
         tau: 0.2,
         measure_every: 1,
+        ..Default::default()
     };
     let res = run_vmc(&mut eng, &mut walkers, &params);
     // 2 blocks x 5 steps x 3 walkers sweeps; one measurement per sweep.
@@ -158,6 +163,7 @@ fn dmc_warmup_excluded_from_statistics() {
         target_population: 4,
         recompute_every: 0,
         seed: 21,
+        ..Default::default()
     };
     let res = run_dmc(&mut eng, &mut walkers, &params);
     // Only steps 4..10 contribute estimator samples.

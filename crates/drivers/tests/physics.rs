@@ -109,6 +109,7 @@ fn vmc_eigenstate_energy_is_exact() {
         steps_per_block: 10,
         tau: 0.3,
         measure_every: 1,
+        ..Default::default()
     };
     let res = run_vmc(&mut engine, &mut walkers, &params);
     let (mean, _, _) = res.energy.blocking();
@@ -137,6 +138,7 @@ fn dmc_eigenstate_energy_and_population_stable() {
         target_population: 12,
         recompute_every: 10,
         seed: 99,
+        ..Default::default()
     };
     let res = run_dmc(&mut engine, &mut walkers, &params);
     let (mean, _, _) = res.energy.blocking();
@@ -163,6 +165,7 @@ fn dmc_delayed_updates_match_exact_energy() {
         target_population: 6,
         recompute_every: 8,
         seed: 23,
+        ..Default::default()
     };
     let res = run_dmc(&mut engine, &mut walkers, &params);
     let (mean, _, _) = res.energy.blocking();
@@ -185,6 +188,7 @@ fn parallel_dmc_matches_exact_energy_and_merges_profile() {
         target_population: 9,
         recompute_every: 5,
         seed: 41,
+        ..Default::default()
     };
     let (res, profile) = run_dmc_parallel(&mut engines, &mut walkers, &params);
     let (mean, _, _) = res.energy.blocking();

@@ -235,15 +235,12 @@ mod tests {
         let a = 1.0;
         let lat = CrystalLattice::<f64>::cubic(a);
         let ewald = Ewald::new(&lat);
-        let r = vec![
-            TinyVector([0.0, 0.0, 0.0]),
-            TinyVector([0.5, 0.5, 0.5]),
-        ];
+        let r = vec![TinyVector([0.0, 0.0, 0.0]), TinyVector([0.5, 0.5, 0.5])];
         let q = vec![1.0, -1.0];
         let e = ewald.energy(&r, &q);
         let d = 0.75f64.sqrt(); // nearest-neighbour distance
         let madelung = -e * d / 2.0 * 2.0; // per ion pair: E = -M/d per ion... E_total = 2 ions
-        // energy per ion = E/2; M = -(E/2) * d ... combine:
+                                           // energy per ion = E/2; M = -(E/2) * d ... combine:
         let m = -e / 2.0 * d * 2.0;
         assert!(
             (m - 1.762_675).abs() < 2e-3,
@@ -255,10 +252,7 @@ mod tests {
     fn energy_independent_of_alpha_partitioning() {
         // Same configuration, two different cells sizes scaled together:
         // Coulomb energy scales as 1/L.
-        let r1 = vec![
-            TinyVector([0.0, 0.0, 0.0]),
-            TinyVector([1.0, 1.0, 1.0]),
-        ];
+        let r1 = vec![TinyVector([0.0, 0.0, 0.0]), TinyVector([1.0, 1.0, 1.0])];
         let q = vec![1.0, -1.0];
         let e1 = Ewald::new(&CrystalLattice::<f64>::cubic(4.0)).energy(&r1, &q);
         let r2: Vec<_> = r1.iter().map(|p| *p * 2.0).collect();

@@ -113,8 +113,8 @@ fn evaluation_leaves_state_untouched() {
     let v1 = nlpp.evaluate(&mut e, &mut psi, &mut rng);
     assert!(v1.is_finite());
 
-    for i in 0..2 {
-        assert_eq!(e.pos(i), before[i], "electron {i} moved");
+    for (i, b) in before.iter().enumerate().take(2) {
+        assert_eq!(e.pos(i), *b, "electron {i} moved");
     }
     assert_eq!(
         e.table(h_ab).as_ab_soa().dist_row(0),

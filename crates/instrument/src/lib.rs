@@ -23,8 +23,8 @@ pub mod memory;
 pub mod roofline;
 pub mod timer;
 
-pub use ftz::enable_ftz;
 pub use energy::{EnergyModel, Phase, DEFAULT_DMC_WATTS, DEFAULT_INIT_WATTS};
+pub use ftz::enable_ftz;
 pub use memory::{current_rss_bytes, MemoryLedger};
 pub use roofline::{probe_machine, RooflineMachine};
 pub use timer::{

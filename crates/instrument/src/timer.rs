@@ -27,6 +27,9 @@ pub enum Kernel {
     BsplineVGH,
     /// Determinant-side SPO value/gradient/laplacian assembly.
     SpoVGL,
+    /// Batched (multi-walker) fused B-spline value/gradient/Laplacian
+    /// evaluation — the crowd-path SPO kernel.
+    BsplineMwVGL,
     /// Determinant ratio evaluation (dot against the inverse row).
     DetRatio,
     /// Sherman-Morrison / delayed inverse update.
@@ -40,7 +43,7 @@ pub enum Kernel {
 }
 
 /// Number of kernel categories.
-pub const NUM_KERNELS: usize = 12;
+pub const NUM_KERNELS: usize = 13;
 
 /// All kernels in display order.
 pub const ALL_KERNELS: [Kernel; NUM_KERNELS] = [
@@ -51,6 +54,7 @@ pub const ALL_KERNELS: [Kernel; NUM_KERNELS] = [
     Kernel::BsplineV,
     Kernel::BsplineVGH,
     Kernel::SpoVGL,
+    Kernel::BsplineMwVGL,
     Kernel::DetRatio,
     Kernel::DetUpdate,
     Kernel::Nlpp,
@@ -69,6 +73,7 @@ impl Kernel {
             Kernel::BsplineV => "Bspline-v",
             Kernel::BsplineVGH => "Bspline-vgh",
             Kernel::SpoVGL => "SPO-vgl",
+            Kernel::BsplineMwVGL => "Bspline-mw-vgl",
             Kernel::DetRatio => "DetRatio",
             Kernel::DetUpdate => "DetUpdate",
             Kernel::Nlpp => "NLPP",

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use qmc_containers::Matrix;
 use qmc_linalg::{
-    det_ratio_row, gemm, invert_with_log_det, sherman_morrison_update,
-    transposed_inverse_log_det, DelayedInverse, LuFactor,
+    det_ratio_row, gemm, invert_with_log_det, sherman_morrison_update, transposed_inverse_log_det,
+    DelayedInverse, LuFactor,
 };
 
 fn diag_dominant(n: usize, vals: &[f64]) -> Matrix<f64> {

@@ -28,7 +28,11 @@ fn main() {
 
     let (mut layout_v, mut layout_g, mut layout_h, mut prec_v) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     for _ in 0..evals {
-        let u = [rng.random::<f64>(), rng.random::<f64>(), rng.random::<f64>()];
+        let u = [
+            rng.random::<f64>(),
+            rng.random::<f64>(),
+            rng.random::<f64>(),
+        ];
         t64.evaluate_vgh(u, &mut p_soa, &mut g_soa, &mut h_soa);
         t64.evaluate_vgh_ref(u, &mut p_ref, &mut g_ref, &mut h_ref);
         for s in 0..ns {

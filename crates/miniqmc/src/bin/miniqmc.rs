@@ -9,7 +9,8 @@
 //! ```
 
 use miniqmc::Options;
-use qmc_drivers::{initial_population, run_vmc, VmcParams};
+use qmc_crowd::{run_vmc_crowd, Crowd};
+use qmc_drivers::{initial_population, run_vmc, Batching, VmcParams};
 use qmc_workloads::{run_dmc_benchmark, Benchmark, CodeVersion, RunConfig, Size, Workload};
 
 fn parse_benchmark(s: &str) -> Benchmark {
@@ -47,6 +48,7 @@ fn main() {
              --size scaled|full (default scaled)\n\
              --code ref|refmp|soa|current|delayedK (default current)\n\
              --threads N --walkers N --steps N --warmup N --tau X --seed N\n\
+             --crowd W   lock-step crowds of W walkers (0/absent: per-walker)\n\
              --driver dmc|vmc (default dmc)"
         );
         return;
@@ -57,6 +59,7 @@ fn main() {
         _ => Size::Scaled,
     };
     let code = parse_code(opts.get_str("code").unwrap_or("current"));
+    let crowd = opts.get("crowd", 0usize);
     let cfg = RunConfig {
         threads: opts.get("threads", 2usize),
         walkers: opts.get("walkers", 8usize),
@@ -64,6 +67,11 @@ fn main() {
         warmup: opts.get("warmup", 2usize),
         tau: opts.get("tau", 0.005f64),
         seed: opts.get("seed", 42u64),
+        batching: if crowd > 0 {
+            Batching::Crowd(crowd)
+        } else {
+            Batching::PerWalker
+        },
     };
 
     let workload = Workload::new(benchmark, size, cfg.seed);
@@ -76,13 +84,17 @@ fn main() {
         workload.num_orbitals()
     );
     println!(
-        "code = {}, threads = {}, walkers = {}, steps = {} (+{} warmup), tau = {}",
+        "code = {}, threads = {}, walkers = {}, steps = {} (+{} warmup), tau = {}, batching = {}",
         code.label(),
         cfg.threads,
         cfg.walkers,
         cfg.steps,
         cfg.warmup,
-        cfg.tau
+        cfg.tau,
+        match cfg.batching {
+            Batching::PerWalker => "per-walker".to_string(),
+            Batching::Crowd(w) => format!("crowd({w})"),
+        }
     );
 
     if opts.get_str("driver") == Some("vmc") {
@@ -117,23 +129,36 @@ fn main() {
     print!("{}", out.profile.to_table());
 }
 
-
-/// VMC mode: a single-engine variational run with per-block recompute.
+/// VMC mode: a variational run with per-block recompute — one engine, or
+/// one lock-step crowd when `--crowd W` is given (results are identical).
 fn run_vmc_mode(workload: &Workload, code: CodeVersion, cfg: &RunConfig) {
     let params = VmcParams {
         blocks: (cfg.steps / 4).max(1),
         steps_per_block: 4,
         tau: cfg.tau.max(0.05),
         measure_every: 1,
+        batching: cfg.batching,
     };
-    println!("driver = VMC: {} blocks x {} sweeps", params.blocks, params.steps_per_block);
+    println!(
+        "driver = VMC: {} blocks x {} sweeps",
+        params.blocks, params.steps_per_block
+    );
     macro_rules! go {
-        ($engine:expr) => {{
-            let mut engine = $engine;
+        ($build:expr) => {{
             let mut walkers =
                 initial_population(workload.initial_positions(), cfg.walkers, cfg.seed);
             let t0 = std::time::Instant::now();
-            let res = run_vmc(&mut engine, &mut walkers, &params);
+            let res = match cfg.batching {
+                Batching::PerWalker => {
+                    let mut engine = $build;
+                    run_vmc(&mut engine, &mut walkers, &params)
+                }
+                Batching::Crowd(_) => {
+                    let slots = (0..cfg.batching.crowd_size()).map(|_| $build).collect();
+                    let mut crowd = Crowd::new(slots);
+                    run_vmc_crowd(&mut crowd, &mut walkers, &params)
+                }
+            };
             let secs = t0.elapsed().as_secs_f64();
             let (e, err, tau_corr) = res.energy.blocking();
             println!(

@@ -420,6 +420,128 @@ impl<T: Real> DistTableAASoA<T> {
 }
 
 // ---------------------------------------------------------------------------
+// Multi-walker (crowd) candidate rows.
+// ---------------------------------------------------------------------------
+
+/// Walker-major SoA staging buffer for batched candidate distance rows.
+///
+/// One crowd-sized batch of proposed single-particle moves produces one
+/// candidate row per walker; the rows are stored contiguously per walker
+/// (walker-major) in padded aligned storage, so the per-walker row is
+/// exactly the slab a scalar `move_candidate` would have produced.
+pub struct MwRowStage<T: Real> {
+    n: usize,
+    stride: usize,
+    walkers: usize,
+    dist: AlignedVec<T>,
+    disp: [AlignedVec<T>; 3],
+}
+
+impl<T: Real> MwRowStage<T> {
+    /// Allocates staging rows of `n` partners for `walkers` walkers.
+    pub fn new(n: usize, walkers: usize) -> Self {
+        let stride = qmc_containers::padded_len::<T>(n);
+        let total = stride * walkers.max(1);
+        Self {
+            n,
+            stride,
+            walkers,
+            dist: AlignedVec::zeros(total),
+            disp: [
+                AlignedVec::zeros(total),
+                AlignedVec::zeros(total),
+                AlignedVec::zeros(total),
+            ],
+        }
+    }
+
+    /// Number of partners per row.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when rows have no partners.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of walker slots.
+    pub fn num_walkers(&self) -> usize {
+        self.walkers
+    }
+
+    /// Candidate distances of walker `w`.
+    #[inline]
+    pub fn dist_row(&self, w: usize) -> &[T] {
+        &self.dist.as_slice()[w * self.stride..w * self.stride + self.n]
+    }
+
+    /// Candidate displacement component `d` of walker `w` (`r_j - r_cand`).
+    #[inline]
+    pub fn disp_row(&self, d: usize, w: usize) -> &[T] {
+        &self.disp[d].as_slice()[w * self.stride..w * self.stride + self.n]
+    }
+
+    /// Bytes of staging storage (memory ledger).
+    pub fn bytes(&self) -> usize {
+        (self.dist.len() + self.disp.iter().map(|d| d.len()).sum::<usize>())
+            * std::mem::size_of::<T>()
+    }
+}
+
+/// Batched candidate-row computation: for each walker `w`, computes the
+/// distances/displacements from `newpos[w]` to every position in
+/// `sources[w]`, writing walker `w`'s row of `stage`. Elementwise identical
+/// to calling the scalar `move_candidate` per walker; the batch shares one
+/// timer scope and streams the walker-major staging buffer.
+///
+/// `poison_self = Some(iat)` writes the self-distance sentinel used by AA
+/// tables into column `iat`; pass `None` for AB (electron-ion) rows.
+/// `kernel` attributes the timing (AA or AB distance-table kernel).
+pub fn mw_candidate_rows<T: Real>(
+    lattice: &CrystalLattice<T>,
+    sources: &[&VectorSoaContainer<T, 3>],
+    newpos: &[Pos<T>],
+    poison_self: Option<usize>,
+    kernel: Kernel,
+    stage: &mut MwRowStage<T>,
+) {
+    let nw = sources.len();
+    assert_eq!(newpos.len(), nw);
+    assert!(nw <= stage.num_walkers());
+    let n = stage.n;
+    let stride = stage.stride;
+    time_kernel(kernel, || {
+        for w in 0..nw {
+            assert_eq!(sources[w].len(), n);
+            let base = w * stride;
+            let d = &mut stage.dist.as_mut_slice()[base..base + n];
+            let [a, b, c] = &mut stage.disp;
+            compute_row(
+                lattice,
+                sources[w],
+                newpos[w],
+                n,
+                d,
+                [
+                    &mut a.as_mut_slice()[base..base + n],
+                    &mut b.as_mut_slice()[base..base + n],
+                    &mut c.as_mut_slice()[base..base + n],
+                ],
+            );
+            if let Some(iat) = poison_self {
+                d[iat] = T::from_f64(f64::MAX);
+            }
+        }
+    });
+    add_flops_bytes(
+        kernel,
+        18 * (nw * n) as u64,
+        7 * std::mem::size_of::<T>() as u64 * (nw * n) as u64,
+    );
+}
+
+// ---------------------------------------------------------------------------
 // AB (electron-ion) tables.
 // ---------------------------------------------------------------------------
 
@@ -854,6 +976,73 @@ mod tests {
         tref.accept(3);
         tsoa.accept(3);
         assert!((tref.dist(3, 0) - tsoa.dist_row(3)[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mw_candidate_rows_bitwise_match_scalar() {
+        let l = 7.5;
+        let lat = CrystalLattice::<f64>::cubic(l);
+        let n = 12;
+        let iat = 5;
+        // Three walkers with distinct configurations and proposals.
+        let configs: Vec<Vec<Pos<f64>>> = (0..3).map(|w| positions(n, l, 31 + w as u64)).collect();
+        let soas: Vec<VectorSoaContainer<f64, 3>> = configs.iter().map(|r| soa_of(r)).collect();
+        let proposals = [
+            TinyVector([0.3, 6.1, 2.2]),
+            TinyVector([5.5, 0.9, 7.1]),
+            TinyVector([3.3, 3.3, 0.1]),
+        ];
+        let mut stage = MwRowStage::new(n, 3);
+        let refs: Vec<&VectorSoaContainer<f64, 3>> = soas.iter().collect();
+        mw_candidate_rows(
+            &lat,
+            &refs,
+            &proposals,
+            Some(iat),
+            Kernel::DistTableAA,
+            &mut stage,
+        );
+        for w in 0..3 {
+            let mut t = DistTableAASoA::new(n, lat.clone());
+            t.evaluate(&soas[w]);
+            t.move_candidate(&soas[w], iat, proposals[w]);
+            for j in 0..n {
+                assert_eq!(
+                    stage.dist_row(w)[j],
+                    t.temp_dist()[j],
+                    "walker {w} partner {j} dist"
+                );
+                for d in 0..3 {
+                    assert_eq!(
+                        stage.disp_row(d, w)[j],
+                        t.temp_disp(d)[j],
+                        "walker {w} partner {j} disp {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mw_stage_without_poison_keeps_self_row() {
+        let lat = CrystalLattice::<f64>::cubic(5.0);
+        let ions = positions(4, 5.0, 3);
+        let isoa = soa_of(&ions);
+        let newpos = [TinyVector([1.0, 2.0, 3.0])];
+        let mut stage = MwRowStage::new(4, 1);
+        mw_candidate_rows(
+            &lat,
+            &[&isoa],
+            &newpos,
+            None,
+            Kernel::DistTableAB,
+            &mut stage,
+        );
+        let mut t = DistTableABSoA::new(1, &ions, lat);
+        t.move_candidate(0, newpos[0]);
+        for a in 0..4 {
+            assert_eq!(stage.dist_row(0)[a], t.temp_dist()[a]);
+        }
     }
 
     #[test]

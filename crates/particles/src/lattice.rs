@@ -177,6 +177,43 @@ impl<T: Real> CrystalLattice<T> {
         lap
     }
 
+    /// The fractional-to-Cartesian gradient transform as a dense matrix:
+    /// `g_cart[d] = sum_e G[d][e] g_frac[e]`, i.e. exactly the contraction
+    /// applied by [`Self::frac_grad_to_cart`]. Batched (multi-walker) SPO
+    /// kernels precontract their per-node stencil weights with this matrix
+    /// instead of transforming per-orbital outputs.
+    #[inline]
+    pub fn grad_transform(&self) -> [[T; 3]; 3] {
+        self.ainv
+    }
+
+    /// The Laplacian metric contracted against a *packed* fractional
+    /// Hessian `[xx,xy,xz,yy,yz,zz]`: `lap = sum_k M[k] h[k]` with the
+    /// off-diagonal entries pre-doubled, so the result equals
+    /// [`Self::frac_hess_to_cart_laplacian`] on the same packed Hessian.
+    #[inline]
+    pub fn laplacian_metric(&self) -> [T; 6] {
+        let mut metric = [[T::ZERO; 3]; 3];
+        for a in 0..3 {
+            for b in 0..3 {
+                let mut acc = T::ZERO;
+                for c in 0..3 {
+                    acc += self.ainv[c][a] * self.ainv[c][b];
+                }
+                metric[a][b] = acc;
+            }
+        }
+        let two = T::from_f64(2.0);
+        [
+            metric[0][0],
+            two * metric[0][1],
+            two * metric[0][2],
+            metric[1][1],
+            two * metric[1][2],
+            metric[2][2],
+        ]
+    }
+
     /// Minimum-image displacement of `dr` (fast fractional wrap). Exact for
     /// orthorhombic cells and for displacements within the inscribed sphere
     /// of general cells.
@@ -356,6 +393,30 @@ mod tests {
         // H_frac = diag(1,1,1) -> lap = 1/4 + 1/16 + 1/64
         let lap = lat.frac_hess_to_cart_laplacian([1.0, 0.0, 0.0, 1.0, 0.0, 1.0]);
         assert!((lap - (0.25 + 0.0625 + 0.015625)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn grad_transform_matches_elementwise() {
+        let lat =
+            CrystalLattice::<f64>::from_rows([[8.0, 0.0, 0.0], [2.0, 7.0, 0.0], [1.0, 1.5, 9.0]]);
+        let g = TinyVector([0.3, -1.2, 0.7]);
+        let expect = lat.frac_grad_to_cart(g);
+        let m = lat.grad_transform();
+        for d in 0..3 {
+            let got = m[d][0] * g[0] + m[d][1] * g[1] + m[d][2] * g[2];
+            assert!((got - expect[d]).abs() < 1e-14, "d={d}");
+        }
+    }
+
+    #[test]
+    fn laplacian_metric_matches_full_contraction() {
+        let lat =
+            CrystalLattice::<f64>::from_rows([[8.0, 0.0, 0.0], [2.0, 7.0, 0.0], [1.0, 1.5, 9.0]]);
+        let h = [0.4, -0.3, 0.9, 1.1, 0.2, -0.8];
+        let expect = lat.frac_hess_to_cart_laplacian(h);
+        let m = lat.laplacian_metric();
+        let got: f64 = (0..6).map(|k| m[k] * h[k]).sum();
+        assert!((got - expect).abs() < 1e-13, "{got} vs {expect}");
     }
 
     #[test]

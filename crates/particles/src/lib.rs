@@ -17,7 +17,10 @@ pub mod lattice;
 pub mod particle_set;
 pub mod random;
 
-pub use dtable::{DistTableAARef, DistTableAASoA, DistTableABRef, DistTableABSoA, Layout};
+pub use dtable::{
+    mw_candidate_rows, DistTableAARef, DistTableAASoA, DistTableABRef, DistTableABSoA, Layout,
+    MwRowStage,
+};
 pub use lattice::CrystalLattice;
 pub use particle_set::{DistTable, ParticleSet, Species};
 pub use random::{gaussian, gaussian_pos, random_positions_in_cell};

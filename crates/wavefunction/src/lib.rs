@@ -19,6 +19,7 @@
 // job obvious); iterator zips would obscure them.
 #![allow(clippy::needless_range_loop)]
 
+pub mod batched;
 pub mod buffer;
 pub mod determinant;
 pub mod jastrow;
@@ -26,6 +27,7 @@ pub mod spo;
 pub mod traits;
 pub mod twf;
 
+pub use batched::BatchedWaveFunctionComponent;
 pub use buffer::WalkerBuffer;
 pub use determinant::{
     DetUpdateMode, DiracDeterminant, DEFAULT_RECOMPUTE_SWEEPS_DP, DEFAULT_RECOMPUTE_SWEEPS_SP,

@@ -28,6 +28,26 @@ pub trait SpoSet<T: Real>: Send + Sync {
     /// Values, Cartesian gradients (3 slabs of `size()`) and Laplacians of
     /// all orbitals at `pos` (the `Bspline-vgh` + `SPO-vgl` kernels).
     fn evaluate_vgl(&mut self, pos: Pos<T>, psi: &mut [T], grad: &mut [T], lap: &mut [T]);
+
+    /// Batched (multi-walker) VGL: evaluates one position per walker in a
+    /// single call. Outputs are walker-major — walker `w` owns
+    /// `psi[w*ns..]`, `grad[w*3*ns..]`, `lap[w*ns..]` with `ns = size()`.
+    ///
+    /// The default loops the scalar [`Self::evaluate_vgl`] (bit-identical
+    /// to per-walker evaluation by construction); table-backed sets
+    /// override it with a fused one-pass kernel over the shared
+    /// coefficients.
+    fn mw_evaluate_vgl(&mut self, pos: &[Pos<T>], psi: &mut [T], grad: &mut [T], lap: &mut [T]) {
+        let ns = self.size();
+        for (w, &p) in pos.iter().enumerate() {
+            self.evaluate_vgl(
+                p,
+                &mut psi[w * ns..(w + 1) * ns],
+                &mut grad[w * 3 * ns..(w + 1) * 3 * ns],
+                &mut lap[w * ns..(w + 1) * ns],
+            );
+        }
+    }
 }
 
 /// Evaluation strategy for [`BsplineSpo`].
@@ -46,6 +66,11 @@ pub struct BsplineSpo<T: Real> {
     table: Arc<MultiBspline3D<T>>,
     lattice: CrystalLattice<T>,
     layout: SpoLayout,
+    /// Precontracted fractional-to-Cartesian gradient matrix (fused
+    /// batched-VGL path).
+    gmat: [[T; 3]; 3],
+    /// Precontracted packed Laplacian metric (off-diagonals doubled).
+    lapmet: [T; 6],
     /// Scratch for fractional-space gradients (3 slabs).
     scratch_grad: Vec<T>,
     /// Scratch for fractional-space Hessians (6 slabs).
@@ -59,6 +84,8 @@ impl<T: Real> Clone for BsplineSpo<T> {
             table: Arc::clone(&self.table),
             lattice: self.lattice.clone(),
             layout: self.layout,
+            gmat: self.gmat,
+            lapmet: self.lapmet,
             scratch_grad: self.scratch_grad.clone(),
             scratch_hess: self.scratch_hess.clone(),
         }
@@ -73,10 +100,14 @@ impl<T: Real> BsplineSpo<T> {
         layout: SpoLayout,
     ) -> Self {
         let ns = table.num_splines();
+        let gmat = lattice.grad_transform();
+        let lapmet = lattice.laplacian_metric();
         Self {
             table,
             lattice,
             layout,
+            gmat,
+            lapmet,
             scratch_grad: vec![T::ZERO; 3 * ns],
             scratch_hess: vec![T::ZERO; 6 * ns],
         }
@@ -122,6 +153,7 @@ impl<T: Real> SpoSet<T> for BsplineSpo<T> {
             layout,
             scratch_grad: fg,
             scratch_hess: fh,
+            ..
         } = self;
         time_kernel(Kernel::BsplineVGH, || match layout {
             SpoLayout::Ref => table.evaluate_vgh_ref(u, psi, fg, fh),
@@ -154,6 +186,27 @@ impl<T: Real> SpoSet<T> for BsplineSpo<T> {
             Kernel::SpoVGL,
             (40 * ns) as u64,
             (10 * ns * std::mem::size_of::<T>()) as u64,
+        );
+    }
+
+    /// Fused batched VGL: one pass over the shared coefficient table per
+    /// walker with the fractional-to-Cartesian transform precontracted into
+    /// the stencil weights — 5 accumulation slabs instead of 10 plus a
+    /// transform pass. Not bit-identical to the scalar
+    /// `vgh`-then-transform path, so it only backs the batched API.
+    fn mw_evaluate_vgl(&mut self, pos: &[Pos<T>], psi: &mut [T], grad: &mut [T], lap: &mut [T]) {
+        let ns = self.size();
+        let nw = pos.len();
+        assert!(psi.len() >= nw * ns && grad.len() >= 3 * nw * ns && lap.len() >= nw * ns);
+        let us: Vec<[T; 3]> = pos.iter().map(|&p| self.to_frac(p)).collect();
+        time_kernel(Kernel::BsplineMwVGL, || {
+            self.table
+                .mw_evaluate_vgl(&us, &self.gmat, &self.lapmet, psi, grad, lap);
+        });
+        add_flops_bytes(
+            Kernel::BsplineMwVGL,
+            (64 * 14 * ns * nw) as u64,
+            ((64 * 5 + 5) * ns * nw * std::mem::size_of::<T>()) as u64,
         );
     }
 }
@@ -305,6 +358,67 @@ mod tests {
         }
         for s in 0..ns {
             assert!((l1[s] - l2[s]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bspline_mw_vgl_matches_scalar_loop() {
+        let lat = CrystalLattice::<f64>::orthorhombic([3.0, 4.0, 5.0]);
+        let table = Arc::new(MultiBspline3D::<f64>::random([6, 6, 6], 9, 31));
+        let mut spo = BsplineSpo::new(table, lat, SpoLayout::Soa);
+        let ns = 9;
+        let pos = [
+            TinyVector([1.3, 0.4, 4.1]),
+            TinyVector([0.2, 3.7, 2.9]),
+            TinyVector([2.8, 1.1, 0.6]),
+            TinyVector([1.9, 2.5, 3.3]),
+        ];
+        let nw = pos.len();
+        // Fused batched path.
+        let mut psi_b = vec![0.0; nw * ns];
+        let mut grad_b = vec![0.0; 3 * nw * ns];
+        let mut lap_b = vec![0.0; nw * ns];
+        spo.mw_evaluate_vgl(&pos, &mut psi_b, &mut grad_b, &mut lap_b);
+        // Scalar loop reference.
+        for (w, &p) in pos.iter().enumerate() {
+            let mut psi = vec![0.0; ns];
+            let mut grad = vec![0.0; 3 * ns];
+            let mut lap = vec![0.0; ns];
+            spo.evaluate_vgl(p, &mut psi, &mut grad, &mut lap);
+            for s in 0..ns {
+                assert!((psi_b[w * ns + s] - psi[s]).abs() < 1e-12, "w={w} s={s}");
+                assert!(
+                    (lap_b[w * ns + s] - lap[s]).abs() < 1e-9 * (1.0 + lap[s].abs()),
+                    "w={w} s={s}"
+                );
+            }
+            for i in 0..3 * ns {
+                assert!(
+                    (grad_b[w * 3 * ns + i] - grad[i]).abs() < 1e-10,
+                    "w={w} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_mw_vgl_default_is_bitwise_scalar_loop() {
+        let mut spo = CosineSpo::<f64>::new(6, [4.0, 5.0, 6.0]);
+        let ns = 6;
+        let pos = [TinyVector([1.1, 2.2, 0.7]), TinyVector([3.0, 0.5, 4.4])];
+        let nw = pos.len();
+        let mut psi_b = vec![0.0; nw * ns];
+        let mut grad_b = vec![0.0; 3 * nw * ns];
+        let mut lap_b = vec![0.0; nw * ns];
+        spo.mw_evaluate_vgl(&pos, &mut psi_b, &mut grad_b, &mut lap_b);
+        for (w, &p) in pos.iter().enumerate() {
+            let mut psi = vec![0.0; ns];
+            let mut grad = vec![0.0; 3 * ns];
+            let mut lap = vec![0.0; ns];
+            spo.evaluate_vgl(p, &mut psi, &mut grad, &mut lap);
+            assert_eq!(&psi_b[w * ns..(w + 1) * ns], &psi[..]);
+            assert_eq!(&grad_b[w * 3 * ns..(w + 1) * 3 * ns], &grad[..]);
+            assert_eq!(&lap_b[w * ns..(w + 1) * ns], &lap[..]);
         }
     }
 

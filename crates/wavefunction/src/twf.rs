@@ -4,6 +4,7 @@
 //! log values and gradients add. This is the object the QMC drivers talk
 //! to, mirroring `TrialWaveFunction` in Fig. 4.
 
+use crate::batched::BatchedWaveFunctionComponent;
 use crate::traits::WaveFunctionComponent;
 use qmc_containers::{Pos, Real, TinyVector};
 use qmc_particles::ParticleSet;
@@ -144,6 +145,99 @@ impl<T: Real> TrialWaveFunction<T> {
         }
         assert!(buf.fully_consumed(), "walker buffer layout mismatch");
         self.log_value = self.components.iter().map(|c| c.log_value()).sum();
+    }
+
+    /// Batched full evaluation over a crowd of walkers. Entry `w` of each
+    /// slice belongs to walker `w`; `logs[w]` receives `log |Psi_T|`.
+    ///
+    /// Components are batched via [`BatchedWaveFunctionComponent`] so a
+    /// leaf override (e.g. a fused multi-walker SPO kernel) benefits every
+    /// walker at once; with the default scalar loops this is bit-identical
+    /// to calling [`Self::evaluate_log`] per walker.
+    pub fn mw_evaluate_log(
+        batch: &mut [&mut Self],
+        psets: &mut [&mut ParticleSet<T>],
+        logs: &mut [f64],
+    ) {
+        for p in psets.iter_mut() {
+            p.update_tables();
+            p.reset_gl();
+        }
+        logs.fill(0.0);
+        let nc = batch.first().map_or(0, |t| t.components.len());
+        for ci in 0..nc {
+            let mut comps: Vec<&mut dyn WaveFunctionComponent<T>> = batch
+                .iter_mut()
+                .map(|t| t.components[ci].as_mut())
+                .collect();
+            BatchedWaveFunctionComponent::mw_evaluate_log(&mut comps, psets, logs);
+        }
+        for (t, &log) in batch.iter_mut().zip(logs.iter()) {
+            t.log_value = log;
+        }
+    }
+
+    /// Batched [`Self::calc_ratio_grad`] for the active move of particle
+    /// `iat` on every walker. `ratios`/`grads` are overwritten.
+    pub fn mw_ratio_grad(
+        batch: &mut [&mut Self],
+        psets: &[&ParticleSet<T>],
+        iat: usize,
+        ratios: &mut [f64],
+        grads: &mut [Pos<f64>],
+    ) {
+        ratios.fill(1.0);
+        for g in grads.iter_mut() {
+            *g = TinyVector::zero();
+        }
+        let nc = batch.first().map_or(0, |t| t.components.len());
+        for ci in 0..nc {
+            let mut comps: Vec<&mut dyn WaveFunctionComponent<T>> = batch
+                .iter_mut()
+                .map(|t| t.components[ci].as_mut())
+                .collect();
+            BatchedWaveFunctionComponent::mw_ratio_grad(&mut comps, psets, iat, ratios, grads);
+        }
+    }
+
+    /// Batched [`Self::eval_grad`]: `grads[w]` is overwritten with the
+    /// gradient of `log Psi_T` for walker `w`'s particle `iat`.
+    pub fn mw_eval_grad(
+        batch: &mut [&mut Self],
+        psets: &[&ParticleSet<T>],
+        iat: usize,
+        grads: &mut [Pos<f64>],
+    ) {
+        for g in grads.iter_mut() {
+            *g = TinyVector::zero();
+        }
+        let nc = batch.first().map_or(0, |t| t.components.len());
+        for ci in 0..nc {
+            let mut comps: Vec<&mut dyn WaveFunctionComponent<T>> = batch
+                .iter_mut()
+                .map(|t| t.components[ci].as_mut())
+                .collect();
+            BatchedWaveFunctionComponent::mw_eval_grad(&mut comps, psets, iat, grads);
+        }
+    }
+
+    /// Batched accept/reject resolution: commits walker `w`'s move when
+    /// `accept[w]`, otherwise discards it (call before resolving the
+    /// particle sets themselves).
+    pub fn mw_accept_restore(
+        batch: &mut [&mut Self],
+        psets: &[&ParticleSet<T>],
+        iat: usize,
+        accept: &[bool],
+    ) {
+        let nc = batch.first().map_or(0, |t| t.components.len());
+        for ci in 0..nc {
+            let mut comps: Vec<&mut dyn WaveFunctionComponent<T>> = batch
+                .iter_mut()
+                .map(|t| t.components[ci].as_mut())
+                .collect();
+            BatchedWaveFunctionComponent::mw_accept_restore(&mut comps, psets, iat, accept);
+        }
     }
 
     /// Component names joined for reports.

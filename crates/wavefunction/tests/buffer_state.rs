@@ -7,8 +7,8 @@ use qmc_bspline::CubicBspline1D;
 use qmc_containers::{Pos, TinyVector};
 use qmc_particles::{CrystalLattice, Layout, ParticleSet, Species};
 use qmc_wavefunction::{
-    traits::WaveFunctionComponent, CosineSpo, DetUpdateMode, DiracDeterminant, J1Ref, J1Soa,
-    J2Ref, J2Soa, PairFunctors, WalkerBuffer,
+    traits::WaveFunctionComponent, CosineSpo, DetUpdateMode, DiracDeterminant, J1Ref, J1Soa, J2Ref,
+    J2Soa, PairFunctors, WalkerBuffer,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -32,8 +32,20 @@ fn electrons(n: usize, seed: u64) -> ParticleSet<f64> {
         "e",
         lat,
         vec![
-            (Species { name: "u".into(), charge: -1.0 }, pos[..half].to_vec()),
-            (Species { name: "d".into(), charge: -1.0 }, pos[half..].to_vec()),
+            (
+                Species {
+                    name: "u".into(),
+                    charge: -1.0,
+                },
+                pos[..half].to_vec(),
+            ),
+            (
+                Species {
+                    name: "d".into(),
+                    charge: -1.0,
+                },
+                pos[half..].to_vec(),
+            ),
         ],
     )
 }
@@ -43,7 +55,10 @@ fn ions() -> ParticleSet<f64> {
         "ion0",
         CrystalLattice::cubic(L),
         vec![(
-            Species { name: "X".into(), charge: 4.0 },
+            Species {
+                name: "X".into(),
+                charge: 4.0,
+            },
             vec![TinyVector([1.0, 1.0, 1.0]), TinyVector([4.0, 4.0, 4.0])],
         )],
     )
@@ -91,7 +106,10 @@ fn roundtrip_under_scramble(
         c.accept_move(p, iat);
         p.accept_move(iat);
     }
-    assert!((c.log_value() - log0).abs() > 1e-6, "scramble had no effect");
+    assert!(
+        (c.log_value() - log0).abs() > 1e-6,
+        "scramble had no effect"
+    );
 
     // Restore: positions back, tables rebuilt, state from buffer.
     p.load_positions(&snap_pos);

@@ -194,8 +194,10 @@ fn j1_ref_and_soa_agree_through_sweeps() {
 
 /// Finite-difference check of gradient and Laplacian accumulated by
 /// `evaluate_log` for an arbitrary component constructor.
+type ComponentBuilder = dyn Fn(&ParticleSet<f64>) -> Box<dyn WaveFunctionComponent<f64>>;
+
 fn check_gl_finite_difference(
-    build: &dyn Fn(&ParticleSet<f64>) -> Box<dyn WaveFunctionComponent<f64>>,
+    build: &ComponentBuilder,
     attach: &dyn Fn(&mut ParticleSet<f64>),
     n: usize,
     tol_g: f64,
@@ -311,7 +313,7 @@ fn determinant_ratio_matches_log_difference() {
     let iat = 2;
     let newpos = p.pos(iat) + TinyVector([0.4, -0.3, 0.2]);
     p.make_move(iat, newpos);
-    let ratio = det.ratio(&mut p, iat);
+    let ratio = det.ratio(&p, iat);
     det.accept_move(&p, iat);
     p.accept_move(iat);
     let log1 = det.evaluate_log(&mut p);

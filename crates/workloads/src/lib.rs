@@ -13,5 +13,6 @@ pub mod run;
 pub mod spec;
 
 pub use build::{CodeVersion, Workload};
+pub use qmc_drivers::Batching;
 pub use run::{run_dmc_benchmark, RunConfig, RunOutcome};
 pub use spec::{Benchmark, IonSpec, Size, WorkloadSpec};

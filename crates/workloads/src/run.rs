@@ -5,7 +5,8 @@
 
 use crate::build::{CodeVersion, Workload};
 use qmc_containers::Real;
-use qmc_drivers::{initial_population, run_dmc_parallel, DmcParams, QmcEngine, Walker};
+use qmc_crowd::{run_dmc_crowd, CrowdScheduler};
+use qmc_drivers::{initial_population, run_dmc_parallel, Batching, DmcParams, QmcEngine, Walker};
 use qmc_instrument::Profile;
 
 /// Execution configuration for one benchmark run.
@@ -23,6 +24,8 @@ pub struct RunConfig {
     pub tau: f64,
     /// Master seed.
     pub seed: u64,
+    /// Walker batching: per-walker engine streaming or lock-step crowds.
+    pub batching: Batching,
 }
 
 impl Default for RunConfig {
@@ -34,6 +37,7 @@ impl Default for RunConfig {
             warmup: 2,
             tau: 0.005,
             seed: 0xBE_EF,
+            batching: Batching::PerWalker,
         }
     }
 }
@@ -91,7 +95,7 @@ impl RunOutcome {
 }
 
 fn run_generic<T: Real>(
-    mut engines: Vec<QmcEngine<T>>,
+    mut build_engine: impl FnMut() -> QmcEngine<T>,
     workload: &Workload,
     code: CodeVersion,
     cfg: &RunConfig,
@@ -105,10 +109,31 @@ fn run_generic<T: Real>(
         target_population: cfg.walkers,
         recompute_every: 16,
         seed: cfg.seed ^ 0xD00D,
+        batching: cfg.batching,
     };
-    let t0 = std::time::Instant::now();
-    let (res, profile) = run_dmc_parallel(&mut engines, &mut walkers, &params);
-    let seconds = t0.elapsed().as_secs_f64();
+    let threads = cfg.threads.max(1);
+    let (res, profile, engine_bytes, seconds);
+    match cfg.batching {
+        Batching::PerWalker => {
+            let mut engines: Vec<QmcEngine<T>> = (0..threads).map(|_| build_engine()).collect();
+            let t0 = std::time::Instant::now();
+            let (r, p) = run_dmc_parallel(&mut engines, &mut walkers, &params);
+            seconds = t0.elapsed().as_secs_f64();
+            engine_bytes = engines.first().map(|e| e.bytes()).unwrap_or(0);
+            res = r;
+            profile = p;
+        }
+        Batching::Crowd(_) => {
+            let sched = CrowdScheduler::new(threads, cfg.batching.crowd_size());
+            let mut crowds = sched.build_crowds(build_engine);
+            let t0 = std::time::Instant::now();
+            let (r, p) = run_dmc_crowd(&mut crowds, &mut walkers, &params);
+            seconds = t0.elapsed().as_secs_f64();
+            engine_bytes = crowds.first().map(|c| c.engine_bytes()).unwrap_or(0);
+            res = r;
+            profile = p;
+        }
+    }
 
     RunOutcome {
         label: code.label(),
@@ -118,24 +143,19 @@ fn run_generic<T: Real>(
         energy: res.energy.blocking(),
         acceptance: res.acceptance,
         walker_bytes: walkers.first().map(|w| w.bytes()).unwrap_or(0),
-        engine_bytes: engines.first().map(|e| e.bytes()).unwrap_or(0),
+        engine_bytes,
         table_bytes: workload.table_bytes(code.single_precision()),
         final_population: walkers.len(),
     }
 }
 
-/// Runs a DMC benchmark for any code version, dispatching on precision.
+/// Runs a DMC benchmark for any code version, dispatching on precision
+/// and on the walker-batching strategy.
 pub fn run_dmc_benchmark(workload: &Workload, code: CodeVersion, cfg: &RunConfig) -> RunOutcome {
     if code.single_precision() {
-        let engines: Vec<QmcEngine<f32>> = (0..cfg.threads.max(1))
-            .map(|_| workload.build_engine_f32(code))
-            .collect();
-        run_generic(engines, workload, code, cfg)
+        run_generic(|| workload.build_engine_f32(code), workload, code, cfg)
     } else {
-        let engines: Vec<QmcEngine<f64>> = (0..cfg.threads.max(1))
-            .map(|_| workload.build_engine_f64(code))
-            .collect();
-        run_generic(engines, workload, code, cfg)
+        run_generic(|| workload.build_engine_f64(code), workload, code, cfg)
     }
 }
 
@@ -154,6 +174,7 @@ mod tests {
             warmup: 1,
             tau: 0.002,
             seed: 7,
+            ..Default::default()
         };
         for code in CodeVersion::paper_ladder() {
             let out = run_dmc_benchmark(&w, code, &cfg);
@@ -178,6 +199,7 @@ mod tests {
             warmup: 0,
             tau: 0.002,
             seed: 3,
+            ..Default::default()
         };
         let r = run_dmc_benchmark(&w, CodeVersion::Ref, &cfg);
         let c = run_dmc_benchmark(&w, CodeVersion::Current, &cfg);

@@ -157,6 +157,7 @@ impl Benchmark {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn nio_spec(
     benchmark: Benchmark,
     name: &'static str,

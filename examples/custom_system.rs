@@ -17,10 +17,7 @@ fn main() {
     // --- geometry: two "ions" in a cubic cell --------------------------
     let l = 8.0;
     let lattice = CrystalLattice::<f64>::cubic(l);
-    let ion_positions = vec![
-        TinyVector([2.0, 4.0, 4.0]),
-        TinyVector([6.0, 4.0, 4.0]),
-    ];
+    let ion_positions = vec![TinyVector([2.0, 4.0, 4.0]), TinyVector([6.0, 4.0, 4.0])];
     let ions = ParticleSet::new(
         "ion0",
         lattice.clone(),
@@ -146,6 +143,7 @@ fn main() {
             target_population: 6,
             recompute_every: 10,
             seed: 5,
+            ..Default::default()
         },
     );
     let (e, err, _) = res.energy.blocking();

@@ -65,6 +65,7 @@ fn main() {
             steps_per_block: 15,
             tau: 0.3,
             measure_every: 1,
+            ..Default::default()
         },
     );
     let (e_vmc, _, _) = vmc.energy.blocking();
@@ -85,6 +86,7 @@ fn main() {
             target_population: 8,
             recompute_every: 10,
             seed: 77,
+            ..Default::default()
         },
     );
     let (e_dmc, err, tau_corr) = dmc.energy.blocking();

@@ -29,6 +29,7 @@ fn main() {
         warmup: 1,
         tau: 0.005,
         seed: 42,
+        ..Default::default()
     };
 
     let ladder = [

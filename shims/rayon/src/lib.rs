@@ -1,0 +1,136 @@
+//! Minimal offline stand-in for `rayon`.
+//!
+//! Provides the tiny slice-parallelism surface the workspace uses
+//! (`par_chunks_mut().enumerate().for_each`, `par_chunks_mut().zip(par_iter())
+//! .for_each`) on top of `std::thread::scope`. Work is split into one
+//! contiguous block per hardware thread; closures must be `Sync` exactly as
+//! with real rayon, so swapping the registry crate back in is a one-line
+//! manifest change.
+
+/// An eagerly collected "parallel iterator": items are distributed over a
+/// scoped thread crew at the terminal `for_each`.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn zip<J: Send>(self, other: ParIter<J>) -> ParIter<(I, J)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let block = n.div_ceil(threads);
+        let mut blocks: Vec<Vec<I>> = Vec::with_capacity(threads);
+        let mut items = self.items;
+        while !items.is_empty() {
+            let tail = items.split_off(items.len().min(block));
+            blocks.push(std::mem::replace(&mut items, tail));
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for block in blocks {
+                scope.spawn(move || {
+                    for item in block {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunked_fill_covers_everything() {
+        let mut data = vec![0u64; 1013];
+        data.par_chunks_mut(64).enumerate().for_each(|(i, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 64 + j) as u64;
+            }
+        });
+        for (k, &v) in data.iter().enumerate() {
+            assert_eq!(v, k as u64);
+        }
+    }
+
+    #[test]
+    fn zip_pairs_in_order() {
+        let tags: Vec<usize> = (0..10).collect();
+        let mut out = vec![0usize; 40];
+        out.par_chunks_mut(4)
+            .zip(tags.par_iter())
+            .for_each(|(chunk, &tag)| {
+                for v in chunk.iter_mut() {
+                    *v = tag;
+                }
+            });
+        for (k, &v) in out.iter().enumerate() {
+            assert_eq!(v, k / 4);
+        }
+    }
+}

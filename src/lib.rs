@@ -19,5 +19,5 @@
 //! the `qmc-bench` crate for the harnesses that regenerate every figure
 //! and table of the paper's evaluation.
 
-pub use qmc_core::*;
 pub use qmc_core::prelude;
+pub use qmc_core::*;

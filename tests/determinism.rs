@@ -11,6 +11,7 @@ fn cfg(threads: usize) -> RunConfig {
         warmup: 1,
         tau: 0.003,
         seed: 99,
+        ..Default::default()
     }
 }
 
@@ -26,18 +27,55 @@ fn identical_seeds_give_identical_energies() {
 
 #[test]
 fn thread_count_does_not_change_the_markov_chains() {
-    // Walkers carry their own RNG streams and branching is serialized, so
-    // the trajectories are identical across crew sizes; only floating
-    // accumulation order differs.
+    // Walkers carry their own RNG streams, branching is serialized, and
+    // the energy reduction runs in walker order after the parallel
+    // section — so results are bitwise identical across crew sizes.
     let w = Workload::new(Benchmark::Graphite, Size::Scaled, 99);
     let a = run_dmc_benchmark(&w, CodeVersion::Current, &cfg(1));
     let b = run_dmc_benchmark(&w, CodeVersion::Current, &cfg(3));
-    assert!(
-        (a.energy.0 - b.energy.0).abs() < 1e-6 * (1.0 + a.energy.0.abs()),
-        "1 thread {} vs 3 threads {}",
-        a.energy.0,
-        b.energy.0
+    assert_eq!(
+        a.energy.0, b.energy.0,
+        "1 thread vs 3 threads must be bitwise"
     );
+    assert_eq!(a.samples, b.samples);
+    assert_eq!(a.final_population, b.final_population);
+}
+
+#[test]
+fn crowd_batching_does_not_change_the_markov_chains() {
+    // The crowd drive executes the same per-walker floating-point op
+    // sequence in lock-step batches, so VMC/DMC scalars are bitwise
+    // identical to the per-walker drive for every crowd size.
+    let w = Workload::new(Benchmark::Graphite, Size::Scaled, 99);
+    let reference = run_dmc_benchmark(&w, CodeVersion::Current, &cfg(1));
+    for crowd in [1usize, 4, 32] {
+        let mut c = cfg(1);
+        c.batching = Batching::Crowd(crowd);
+        let out = run_dmc_benchmark(&w, CodeVersion::Current, &c);
+        assert_eq!(
+            reference.energy.0, out.energy.0,
+            "per-walker vs crowd({crowd}) energy must be bitwise"
+        );
+        assert_eq!(reference.energy.1, out.energy.1, "crowd({crowd}) error");
+        assert_eq!(reference.samples, out.samples, "crowd({crowd}) samples");
+        assert_eq!(
+            reference.final_population, out.final_population,
+            "crowd({crowd}) population"
+        );
+    }
+}
+
+#[test]
+fn crowd_batching_is_thread_invariant_too() {
+    let w = Workload::new(Benchmark::Graphite, Size::Scaled, 99);
+    let mut c1 = cfg(1);
+    c1.batching = Batching::Crowd(4);
+    let mut c4 = cfg(4);
+    c4.batching = Batching::Crowd(4);
+    let a = run_dmc_benchmark(&w, CodeVersion::Current, &c1);
+    let b = run_dmc_benchmark(&w, CodeVersion::Current, &c4);
+    assert_eq!(a.energy.0, b.energy.0, "crowd(4): 1 vs 4 threads");
+    assert_eq!(a.samples, b.samples);
     assert_eq!(a.final_population, b.final_population);
 }
 

@@ -12,6 +12,7 @@ fn quick_cfg(seed: u64) -> RunConfig {
         warmup: 1,
         tau: 0.003,
         seed,
+        ..Default::default()
     }
 }
 
