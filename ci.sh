@@ -19,4 +19,8 @@ cargo test -q --workspace
 echo "== bench smoke (crowd kernels) =="
 cargo bench -p qmc-bench --bench bench_crowd -- --test
 
+echo "== run-report smoke (miniqmc --profile json) =="
+./target/release/miniqmc --benchmark graphite --threads 1 --walkers 2 \
+    --steps 4 --warmup 1 --profile json | ./target/release/json_check
+
 echo "CI OK"

@@ -6,7 +6,7 @@
 //! Current kernel share is scaled by `T_current / T_ref`, so shrinking
 //! bars show where the time went.
 
-use qmc_bench::{run_best, HarnessConfig};
+use qmc_bench::{run_report, HarnessConfig};
 use qmc_instrument::ALL_KERNELS;
 use qmc_workloads::{Benchmark, CodeVersion};
 
@@ -20,8 +20,8 @@ fn main() {
             w.num_electrons()
         );
 
-        let ref_out = run_best(&w, CodeVersion::Ref, &cfg);
-        let cur_out = run_best(&w, CodeVersion::Current, &cfg);
+        let ref_out = run_report(&w, CodeVersion::Ref, &cfg);
+        let cur_out = run_report(&w, CodeVersion::Current, &cfg);
         let speed = ref_out.seconds / cur_out.seconds;
 
         let t_ref = ref_out.profile.total_seconds();

@@ -5,7 +5,7 @@
 //! the 1.3-5x band, largest for the biggest problem (NiO-64), smallest for
 //! the all-electron Be-64 / small problems.
 
-use qmc_bench::{run_best, HarnessConfig};
+use qmc_bench::{run_report, HarnessConfig};
 use qmc_workloads::{Benchmark, CodeVersion};
 
 fn main() {
@@ -25,8 +25,8 @@ fn main() {
     let mut speedups = Vec::new();
     for b in Benchmark::all() {
         let w = cfg.workload(b);
-        let r = run_best(&w, CodeVersion::Ref, &cfg);
-        let c = run_best(&w, CodeVersion::Current, &cfg);
+        let r = run_report(&w, CodeVersion::Ref, &cfg);
+        let c = run_report(&w, CodeVersion::Current, &cfg);
         let s = c.throughput() / r.throughput();
         speedups.push((w.spec.name, s));
         print!("{:>9.1}x", s);

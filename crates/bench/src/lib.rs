@@ -116,6 +116,32 @@ pub fn run_best_batched(
     best.unwrap()
 }
 
+/// Runs a benchmark like [`run_best`] and returns the structured
+/// [`qmc_instrument::RunReport`] — the same aggregate `miniqmc --profile
+/// json` emits, so every figure/table binary reports from one source of
+/// truth instead of private counters.
+pub fn run_report(
+    workload: &Workload,
+    code: CodeVersion,
+    cfg: &HarnessConfig,
+) -> qmc_instrument::RunReport {
+    run_report_batched(workload, code, cfg, qmc_workloads::Batching::PerWalker)
+}
+
+/// [`run_report`] with an explicit walker-batching mode.
+pub fn run_report_batched(
+    workload: &Workload,
+    code: CodeVersion,
+    cfg: &HarnessConfig,
+    batching: qmc_workloads::Batching,
+) -> qmc_instrument::RunReport {
+    let rc = RunConfig {
+        batching,
+        ..cfg.run_config()
+    };
+    run_best_batched(workload, code, cfg, batching).report(workload, &rc)
+}
+
 /// GiB formatting helper.
 pub fn gib(bytes: usize) -> f64 {
     bytes as f64 / (1u64 << 30) as f64

@@ -6,31 +6,33 @@ use crate::scheduler::CrowdScheduler;
 use parking_lot::Mutex;
 use qmc_containers::Real;
 use qmc_drivers::{chunks_mut, BranchController, DmcParams, DmcResult, ScalarEstimator, Walker};
-use qmc_instrument::{drain_thread_profile, Profile};
+use qmc_instrument::{drain_thread_profile, span, span_lazy, ProfileSet};
 
 /// Runs DMC across a crew of crowds (one crowd per thread). Walker
 /// initialization, branching, trial-energy feedback and the energy
 /// reduction all follow the per-walker parallel driver exactly, so the
 /// result is bit-identical to `run_dmc_parallel` for any crowd size.
+/// Kernel time drains into one [`ProfileSet`] group per crowd.
 pub fn run_dmc_crowd<T: Real>(
     crowds: &mut [Crowd<T>],
     walkers: &mut Vec<Walker<T>>,
     params: &DmcParams,
-) -> (DmcResult, Profile) {
+) -> (DmcResult, ProfileSet) {
     assert!(!crowds.is_empty());
-    let profile = Mutex::new(Profile::default());
+    let profile = Mutex::new(ProfileSet::with_groups(crowds.len()));
 
     // Parallel walker initialization over the same contiguous chunks.
     std::thread::scope(|scope| {
         let chunks = chunks_mut(walkers, crowds.len());
-        for (crowd, chunk) in crowds.iter_mut().zip(chunks) {
+        for (c, (crowd, chunk)) in crowds.iter_mut().zip(chunks).enumerate() {
             let profile = &profile;
             scope.spawn(move || {
                 qmc_instrument::enable_ftz();
+                let _span = span("init", c as u64);
                 for w in chunk.iter_mut() {
                     crowd.slot_mut(0).init_walker(w);
                 }
-                profile.lock().merge(&drain_thread_profile());
+                profile.lock().merge_group(c, &drain_thread_profile());
             });
         }
     });
@@ -43,10 +45,13 @@ pub fn run_dmc_crowd<T: Real>(
 
     let mut energy = ScalarEstimator::new();
     let mut population = Vec::with_capacity(params.steps);
+    let mut e_trial_trace = Vec::with_capacity(params.steps);
     let (mut accepted, mut attempted) = (0usize, 0usize);
     let mut samples = 0u64;
 
     for step in 0..params.steps {
+        // Driver-level step span on its own lane, above the crowd lanes.
+        let _step_span = span_lazy(crowds.len() as u64, || format!("step {step}"));
         let refresh = params.recompute_every > 0 && step % params.recompute_every == 0;
         let (esum, wsum, acc, att) =
             CrowdScheduler::generation(crowds, walkers, params.tau, refresh, &branch, &profile);
@@ -60,10 +65,12 @@ pub fn run_dmc_crowd<T: Real>(
         population.push(walkers.len());
         branch.branch(walkers);
         branch.update_trial_energy(e_avg, walkers.len());
+        e_trial_trace.push(branch.e_trial);
     }
 
-    // Fold the coordinator thread's own profile (branching etc.).
-    profile.lock().merge(&drain_thread_profile());
+    // Fold the coordinator thread's own profile (branching etc.) into the
+    // aggregate only — it belongs to no crowd.
+    profile.lock().merge_total(&drain_thread_profile());
 
     (
         DmcResult {
@@ -76,6 +83,7 @@ pub fn run_dmc_crowd<T: Real>(
             },
             samples,
             e_trial: branch.e_trial,
+            e_trial_trace,
         },
         profile.into_inner(),
     )

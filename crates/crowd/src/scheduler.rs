@@ -11,7 +11,7 @@ use crate::crowd::Crowd;
 use parking_lot::Mutex;
 use qmc_containers::Real;
 use qmc_drivers::{chunks_mut, BranchController, QmcEngine, Walker};
-use qmc_instrument::{drain_thread_profile, Profile};
+use qmc_instrument::{drain_thread_profile, span, span_lazy, ProfileSet};
 
 /// Builds crowds for a thread crew and runs lock-step DMC generations
 /// over them.
@@ -62,14 +62,15 @@ impl CrowdScheduler {
     /// `(sum w*E, sum w, accepted, attempted)` with the energy sums
     /// reduced sequentially in walker order after the parallel section —
     /// the same reduction as `qmc_drivers::parallel_generation`, so the
-    /// result is bit-identical to the per-walker drive.
+    /// result is bit-identical to the per-walker drive. Kernel time drains
+    /// into per-crowd groups of `profile` (group index = crowd index).
     pub fn generation<T: Real>(
         crowds: &mut [Crowd<T>],
         walkers: &mut [Walker<T>],
         tau: f64,
         refresh: bool,
         branch: &BranchController,
-        profile: &Mutex<Profile>,
+        profile: &Mutex<ProfileSet>,
     ) -> (f64, f64, usize, usize) {
         if walkers.is_empty() {
             return (0.0, 0.0, 0, 0);
@@ -77,14 +78,16 @@ impl CrowdScheduler {
         let counts = Mutex::new((0usize, 0usize));
         std::thread::scope(|scope| {
             let chunks = chunks_mut(walkers, crowds.len());
-            for (crowd, chunk) in crowds.iter_mut().zip(chunks) {
+            for (c, (crowd, chunk)) in crowds.iter_mut().zip(chunks).enumerate() {
                 let counts = &counts;
                 let profile = &profile;
                 scope.spawn(move || {
                     qmc_instrument::enable_ftz();
+                    let _span = span("crowd generation", c as u64);
                     let (mut acc, mut att) = (0usize, 0usize);
                     let cs = crowd.size();
-                    for block in chunk.chunks_mut(cs) {
+                    for (b, block) in chunk.chunks_mut(cs).enumerate() {
+                        let _block_span = span_lazy(c as u64, || format!("block {b}"));
                         for (s, w) in block.iter_mut().enumerate() {
                             crowd.slot_mut(s).load_walker(w);
                             if refresh {
@@ -104,10 +107,10 @@ impl CrowdScheduler {
                             e.store_walker(w);
                         }
                     }
-                    let mut c = counts.lock();
-                    c.0 += acc;
-                    c.1 += att;
-                    profile.lock().merge(&drain_thread_profile());
+                    let mut counts = counts.lock();
+                    counts.0 += acc;
+                    counts.1 += att;
+                    profile.lock().merge_group(c, &drain_thread_profile());
                 });
             }
         });

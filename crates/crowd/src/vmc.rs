@@ -28,7 +28,8 @@ pub fn run_vmc_crowd<T: Real>(
 
     let cs = crowd.size();
     let mut buffered: Vec<Vec<f64>> = vec![Vec::new(); cs];
-    for _block in 0..params.blocks {
+    for outer in 0..params.blocks {
+        let _block_span = qmc_instrument::span_lazy(0, || format!("vmc block {outer}"));
         for block in walkers.chunks_mut(cs) {
             for (s, w) in block.iter_mut().enumerate() {
                 crowd.slot_mut(s).load_walker(w);

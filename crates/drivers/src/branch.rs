@@ -16,6 +16,10 @@ pub struct BranchController {
     pub feedback: f64,
     /// Time step (enters the reweighting exponent).
     pub tau: f64,
+    /// Walkers older than this many zero-accept generations are forcibly
+    /// kept but barred from replicating (QMCPACK's persistent-walker
+    /// guard).
+    pub max_age: usize,
     rng: StdRng,
 }
 
@@ -27,6 +31,7 @@ impl BranchController {
             e_trial: e0,
             feedback: 1.0,
             tau,
+            max_age: 10,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -42,8 +47,12 @@ impl BranchController {
     }
 
     /// Stochastic-rounding birth/death: each walker is replicated
-    /// `floor(weight + u)` times (u uniform), children carrying unit-ish
-    /// weights. Walkers over `max_age` generations old are forcibly kept.
+    /// `m = floor(weight + u)` times (u uniform), survivors carrying unit
+    /// weight, so total weight is conserved in expectation
+    /// (`E[m] = weight` below the replication cap). Walkers over
+    /// `max_age` generations old are forcibly kept (`m >= 1`) but barred
+    /// from replicating (`m <= 1`) and carry their weight forward
+    /// unchanged — the stuck configuration survives without multiplying.
     pub fn branch<T: Real>(&mut self, walkers: &mut Vec<Walker<T>>) {
         // An empty population stays empty (drivers guard against it, but
         // branching must not manufacture walkers or panic).
@@ -59,24 +68,30 @@ impl BranchController {
             .max_by(|a, b| a.1.weight.total_cmp(&b.1.weight))
             .map(|(i, _)| i)
             .unwrap_or(0);
+        let max_age = self.max_age;
         let mut next: Vec<Walker<T>> = Vec::with_capacity(walkers.len() + 8);
         for (i, mut w) in walkers.drain(..).enumerate() {
+            // Every walker draws exactly one uniform regardless of its
+            // fate, so the RNG stream (and downstream determinism) does
+            // not depend on ages or weights.
             let u: f64 = self.rng.random();
             let mut m = (w.weight + u).floor() as usize;
             m = m.min(4); // cap explosive branching
             if i == keep {
                 m = m.max(1);
             }
+            if w.age > max_age {
+                m = 1; // forced-keep, no replication
+            }
             if m == 0 {
                 continue; // death
             }
-            let share = w.weight / m as f64;
-            for _ in 1..m {
-                let mut c = w.branch_copy();
-                c.weight = share;
-                next.push(c);
+            if w.age <= max_age {
+                w.weight = 1.0;
             }
-            w.weight = share;
+            for _ in 1..m {
+                next.push(w.branch_copy());
+            }
             next.push(w);
         }
         debug_assert!(!next.is_empty());
@@ -137,6 +152,67 @@ mod tests {
         }
         b.branch(&mut light);
         assert!(light.len() < 60, "light population {}", light.len());
+    }
+
+    #[test]
+    fn branching_conserves_total_weight_in_expectation() {
+        // E[m] = weight under stochastic rounding and survivors carry unit
+        // weight, so E[total weight after] = total weight before. Average
+        // over many branch steps to beat the sampling noise down.
+        let before_total = 2000.0 * (1.3 + 0.7) / 2.0;
+        let mut after_sum = 0.0;
+        let reps = 40;
+        for rep in 0..reps {
+            let mut b = BranchController::new(2000, 0.0, 0.01, 100 + rep);
+            let mut walkers = initial_population::<f64>(&zero_positions(1), 2000, rep);
+            for (i, w) in walkers.iter_mut().enumerate() {
+                w.weight = if i % 2 == 0 { 1.3 } else { 0.7 };
+            }
+            b.branch(&mut walkers);
+            after_sum += walkers.iter().map(|w| w.weight).sum::<f64>();
+        }
+        let after_mean = after_sum / reps as f64;
+        let rel = (after_mean - before_total).abs() / before_total;
+        assert!(
+            rel < 0.01,
+            "mean total weight {after_mean} vs {before_total}"
+        );
+    }
+
+    #[test]
+    fn over_age_walkers_forced_kept_and_not_replicated() {
+        let mut b = BranchController::new(10, 0.0, 0.01, 13);
+        // Tiny weight + over-age: would almost surely die, must be kept.
+        let mut stuck = initial_population::<f64>(&zero_positions(1), 50, 21);
+        for w in stuck.iter_mut() {
+            w.weight = 1e-6;
+            w.age = b.max_age + 1;
+        }
+        b.branch(&mut stuck);
+        assert_eq!(stuck.len(), 50, "over-age walkers must all survive");
+        assert!(
+            stuck.iter().all(|w| (w.weight - 1e-6).abs() < 1e-18),
+            "over-age walkers carry their weight forward unchanged"
+        );
+
+        // Huge weight + over-age: would normally split 4x, must not.
+        let mut heavy = initial_population::<f64>(&zero_positions(1), 50, 22);
+        for w in heavy.iter_mut() {
+            w.weight = 3.9;
+            w.age = b.max_age + 1;
+        }
+        b.branch(&mut heavy);
+        assert_eq!(heavy.len(), 50, "over-age walkers must not replicate");
+
+        // At exactly max_age the normal rules still apply (doc says
+        // "over max_age").
+        let mut normal = initial_population::<f64>(&zero_positions(1), 50, 23);
+        for w in normal.iter_mut() {
+            w.weight = 3.9;
+            w.age = b.max_age;
+        }
+        b.branch(&mut normal);
+        assert!(normal.len() > 100, "at-age walkers still branch normally");
     }
 
     #[test]

@@ -127,9 +127,16 @@ impl<T: Real> QmcEngine<T> {
     }
 
     /// Recomputes the wavefunction from scratch at the current positions —
-    /// the periodic mixed-precision hygiene step (§7.2).
+    /// the periodic mixed-precision hygiene step (§7.2). Records how far
+    /// the incrementally-updated `log psi` had drifted from the fresh
+    /// value into the global drift counters (the `mp_drift` block of the
+    /// run report).
     pub fn refresh_from_scratch(&mut self) {
-        self.psi.evaluate_log(&mut self.pset);
+        let before = self.psi.log_value();
+        let after = self.psi.evaluate_log(&mut self.pset);
+        if before.is_finite() && after.is_finite() {
+            qmc_instrument::record_refresh_drift((after - before).abs());
+        }
     }
 
     /// One importance-sampled drift-diffusion PbyP sweep over all

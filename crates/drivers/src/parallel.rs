@@ -14,7 +14,7 @@ use crate::estimator::ScalarEstimator;
 use crate::walker::Walker;
 use parking_lot::Mutex;
 use qmc_containers::Real;
-use qmc_instrument::{drain_thread_profile, Profile};
+use qmc_instrument::{drain_thread_profile, span, span_lazy, ProfileSet};
 
 /// Splits `items` into `parts` contiguous chunks of near-equal size.
 /// An empty slice yields no chunks at all (no idle worker threads).
@@ -39,7 +39,8 @@ pub fn chunks_mut<I>(items: &mut [I], parts: usize) -> Vec<&mut [I]> {
 
 /// One parallel DMC generation: sweep + measure every walker using the
 /// per-thread engines. Returns `(sum w*E, sum w, accepted, attempted)` and
-/// merges worker kernel profiles into `profile`.
+/// merges each worker's kernel profile into its group of `profile` (group
+/// index = thread index).
 ///
 /// The energy/weight sums are reduced *sequentially in walker order* from
 /// the stored per-walker fields after the parallel section, so the result
@@ -51,7 +52,7 @@ pub fn parallel_generation<T: Real>(
     tau: f64,
     refresh: bool,
     branch: &BranchController,
-    profile: &Mutex<Profile>,
+    profile: &Mutex<ProfileSet>,
 ) -> (f64, f64, usize, usize) {
     if walkers.is_empty() {
         return (0.0, 0.0, 0, 0);
@@ -60,11 +61,12 @@ pub fn parallel_generation<T: Real>(
     let counts = Mutex::new((0usize, 0usize));
     std::thread::scope(|scope| {
         let chunks = chunks_mut(walkers, nthreads);
-        for (engine, chunk) in engines.iter_mut().zip(chunks) {
+        for (t, (engine, chunk)) in engines.iter_mut().zip(chunks).enumerate() {
             let counts = &counts;
             let profile = &profile;
             scope.spawn(move || {
                 qmc_instrument::enable_ftz();
+                let _span = span("worker block", t as u64);
                 let (mut acc, mut att) = (0usize, 0usize);
                 for w in chunk.iter_mut() {
                     engine.load_walker(w);
@@ -84,7 +86,7 @@ pub fn parallel_generation<T: Real>(
                 let mut c = counts.lock();
                 c.0 += acc;
                 c.1 += att;
-                profile.lock().merge(&drain_thread_profile());
+                profile.lock().merge_group(t, &drain_thread_profile());
             });
         }
     });
@@ -99,28 +101,29 @@ pub fn parallel_generation<T: Real>(
 
 /// Runs DMC across a crew of engines (one per thread). Walker
 /// initialization is parallel too. Returns the result together with the
-/// merged kernel [`Profile`].
+/// merged kernel [`ProfileSet`] (one group per worker thread).
 pub fn run_dmc_parallel<T: Real>(
     engines: &mut [QmcEngine<T>],
     walkers: &mut Vec<Walker<T>>,
     params: &DmcParams,
-) -> (DmcResult, Profile) {
+) -> (DmcResult, ProfileSet) {
     assert!(!engines.is_empty());
-    let profile = Mutex::new(Profile::default());
+    let nthreads = engines.len();
+    let profile = Mutex::new(ProfileSet::with_groups(nthreads));
 
     // Parallel walker initialization.
     {
-        let nthreads = engines.len();
         let chunks = chunks_mut(walkers, nthreads);
         std::thread::scope(|scope| {
-            for (engine, chunk) in engines.iter_mut().zip(chunks) {
+            for (t, (engine, chunk)) in engines.iter_mut().zip(chunks).enumerate() {
                 let profile = &profile;
                 scope.spawn(move || {
                     qmc_instrument::enable_ftz();
+                    let _span = span("init", t as u64);
                     for w in chunk.iter_mut() {
                         engine.init_walker(w);
                     }
-                    profile.lock().merge(&drain_thread_profile());
+                    profile.lock().merge_group(t, &drain_thread_profile());
                 });
             }
         });
@@ -134,10 +137,13 @@ pub fn run_dmc_parallel<T: Real>(
 
     let mut energy = ScalarEstimator::new();
     let mut population = Vec::with_capacity(params.steps);
+    let mut e_trial_trace = Vec::with_capacity(params.steps);
     let (mut accepted, mut attempted) = (0usize, 0usize);
     let mut samples = 0u64;
 
     for step in 0..params.steps {
+        // Driver-level step span on its own lane, above the worker lanes.
+        let _step_span = span_lazy(nthreads as u64, || format!("step {step}"));
         let refresh = params.recompute_every > 0 && step % params.recompute_every == 0;
         let (esum, wsum, acc, att) =
             parallel_generation(engines, walkers, params.tau, refresh, &branch, &profile);
@@ -151,10 +157,12 @@ pub fn run_dmc_parallel<T: Real>(
         population.push(walkers.len());
         branch.branch(walkers);
         branch.update_trial_energy(e_avg, walkers.len());
+        e_trial_trace.push(branch.e_trial);
     }
 
-    // Fold the coordinator thread's own profile (branching etc.).
-    profile.lock().merge(&drain_thread_profile());
+    // Fold the coordinator thread's own profile (branching etc.) into the
+    // aggregate only — it belongs to no worker group.
+    profile.lock().merge_total(&drain_thread_profile());
 
     (
         DmcResult {
@@ -167,6 +175,7 @@ pub fn run_dmc_parallel<T: Real>(
             },
             samples,
             e_trial: branch.e_trial,
+            e_trial_trace,
         },
         profile.into_inner(),
     )
@@ -203,7 +212,7 @@ mod tests {
     #[test]
     fn empty_population_generation_is_a_noop() {
         let branch = BranchController::new(8, -1.0, 0.01, 7);
-        let profile = Mutex::new(Profile::default());
+        let profile = Mutex::new(ProfileSet::default());
         let mut engines: Vec<QmcEngine<f64>> = Vec::new();
         let mut walkers: Vec<Walker<f64>> = Vec::new();
         let (esum, wsum, acc, att) =

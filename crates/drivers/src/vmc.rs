@@ -64,7 +64,8 @@ pub fn run_vmc<T: Real>(
         engine.init_walker(w);
     }
 
-    for _block in 0..params.blocks {
+    for block in 0..params.blocks {
+        let _block_span = qmc_instrument::span_lazy(0, || format!("vmc block {block}"));
         for w in walkers.iter_mut() {
             engine.load_walker(w);
             // Per-block mixed-precision hygiene: recompute from scratch.

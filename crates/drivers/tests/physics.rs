@@ -197,8 +197,8 @@ fn parallel_dmc_matches_exact_energy_and_merges_profile() {
         "parallel DMC {mean} vs {exact}"
     );
     // The merged profile must have seen the hot kernels.
-    assert!(profile.get(qmc_instrument::Kernel::DetUpdate).calls > 0);
-    assert!(profile.get(qmc_instrument::Kernel::DistTableAA).calls > 0);
+    assert!(profile.total.get(qmc_instrument::Kernel::DetUpdate).calls > 0);
+    assert!(profile.total.get(qmc_instrument::Kernel::DistTableAA).calls > 0);
 }
 
 #[test]

@@ -11,6 +11,10 @@
 //! * [`memory`] — an allocation ledger plus process RSS for the footprint
 //!   studies of Fig. 8 / Fig. 9.
 //! * [`energy`] — the constant-power energy model for Fig. 10.
+//! * [`span`] — scoped per-thread/per-crowd/per-block spans exportable as
+//!   Chrome `trace_event` JSON.
+//! * [`report`] — the [`report::RunReport`] aggregate every front-end
+//!   serializes (hand-rolled JSON via [`json`]).
 
 // Indexed loops over multiple parallel slices are the deliberate idiom in
 // the SIMD kernels (mirrors the paper's C++ and keeps the auto-vectorizer's
@@ -19,15 +23,25 @@
 
 pub mod energy;
 pub mod ftz;
+pub mod json;
 pub mod memory;
+pub mod report;
 pub mod roofline;
+pub mod span;
 pub mod timer;
 
 pub use energy::{EnergyModel, Phase, DEFAULT_DMC_WATTS, DEFAULT_INIT_WATTS};
 pub use ftz::enable_ftz;
 pub use memory::{current_rss_bytes, MemoryLedger};
+pub use report::{
+    record_refresh_drift, take_drift_stats, DriftStats, RunReport, RUN_REPORT_SCHEMA,
+};
 pub use roofline::{probe_machine, RooflineMachine};
+pub use span::{
+    chrome_trace_json, enable_tracing, span, span_lazy, take_trace_events, tracing_enabled, Span,
+    TraceEvent,
+};
 pub use timer::{
-    add_flops_bytes, drain_thread_profile, time_kernel, Kernel, KernelStats, Profile, ALL_KERNELS,
-    NUM_KERNELS,
+    add_flops_bytes, drain_thread_profile, time_kernel, Kernel, KernelStats, Profile, ProfileSet,
+    ALL_KERNELS, NUM_KERNELS,
 };

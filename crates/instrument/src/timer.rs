@@ -42,11 +42,10 @@ pub enum Kernel {
     Other,
 }
 
-/// Number of kernel categories.
-pub const NUM_KERNELS: usize = 13;
-
-/// All kernels in display order.
-pub const ALL_KERNELS: [Kernel; NUM_KERNELS] = [
+/// All kernels in display order. The array length is tied to the enum via
+/// `Kernel::Other` (the last variant), so adding a variant without listing
+/// it here is a compile error rather than a silently truncated profile.
+pub const ALL_KERNELS: [Kernel; Kernel::Other as usize + 1] = [
     Kernel::DistTableAA,
     Kernel::DistTableAB,
     Kernel::J1,
@@ -61,6 +60,20 @@ pub const ALL_KERNELS: [Kernel; NUM_KERNELS] = [
     Kernel::Coulomb,
     Kernel::Other,
 ];
+
+/// Number of kernel categories, derived from [`ALL_KERNELS`] (never
+/// hand-maintained).
+pub const NUM_KERNELS: usize = ALL_KERNELS.len();
+
+// Compile-time check: ALL_KERNELS[i] must sit at discriminant i, so the
+// array both covers every variant exactly once and stays in enum order.
+const _: () = {
+    let mut i = 0;
+    while i < NUM_KERNELS {
+        assert!(ALL_KERNELS[i] as usize == i, "ALL_KERNELS out of order");
+        i += 1;
+    }
+};
 
 impl Kernel {
     /// Short label matching the paper's figures.
@@ -209,6 +222,41 @@ impl Profile {
     }
 }
 
+/// A shared profile plus per-group (worker-thread or crowd) sub-profiles.
+///
+/// Drivers hold one of these behind a mutex; each worker drains its
+/// thread-local profile into its own group at block boundaries, and the
+/// group merge also feeds the aggregate, so `total` is always the sum of
+/// the groups plus any ungrouped (coordinator) time.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileSet {
+    /// Aggregate over all groups and the coordinator.
+    pub total: Profile,
+    /// One profile per worker thread / crowd, in chunk order.
+    pub groups: Vec<Profile>,
+}
+
+impl ProfileSet {
+    /// A set with `n` empty groups.
+    pub fn with_groups(n: usize) -> Self {
+        Self {
+            total: Profile::default(),
+            groups: vec![Profile::default(); n],
+        }
+    }
+
+    /// Merges `p` into group `g` and the aggregate.
+    pub fn merge_group(&mut self, g: usize, p: &Profile) {
+        self.groups[g].merge(p);
+        self.total.merge(p);
+    }
+
+    /// Merges ungrouped (coordinator-thread) time into the aggregate only.
+    pub fn merge_total(&mut self, p: &Profile) {
+        self.total.merge(p);
+    }
+}
+
 thread_local! {
     static LOCAL: RefCell<Profile> = RefCell::new(Profile::default());
 }
@@ -291,6 +339,49 @@ mod tests {
         assert!((j2 - 0.4).abs() < 1e-12);
         let sum: f64 = shares.iter().map(|(_, f)| f).sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_kernels_is_exhaustive() {
+        // Exhaustive match: a new Kernel variant fails to compile here
+        // until it is added, and the const block above then forces it into
+        // ALL_KERNELS at the matching index.
+        for &k in &ALL_KERNELS {
+            match k {
+                Kernel::DistTableAA
+                | Kernel::DistTableAB
+                | Kernel::J1
+                | Kernel::J2
+                | Kernel::BsplineV
+                | Kernel::BsplineVGH
+                | Kernel::SpoVGL
+                | Kernel::BsplineMwVGL
+                | Kernel::DetRatio
+                | Kernel::DetUpdate
+                | Kernel::Nlpp
+                | Kernel::Coulomb
+                | Kernel::Other => {}
+            }
+        }
+        assert_eq!(NUM_KERNELS, ALL_KERNELS.len());
+        // Labels are unique (report JSON keys by label).
+        let mut labels: Vec<_> = ALL_KERNELS.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), NUM_KERNELS);
+    }
+
+    #[test]
+    fn profile_set_groups_and_total() {
+        let mut set = ProfileSet::with_groups(2);
+        let mut p = Profile::default();
+        p.get_mut(Kernel::J2).nanos = 100;
+        set.merge_group(0, &p);
+        set.merge_group(1, &p);
+        set.merge_total(&p);
+        assert_eq!(set.groups[0].get(Kernel::J2).nanos, 100);
+        assert_eq!(set.groups[1].get(Kernel::J2).nanos, 100);
+        assert_eq!(set.total.get(Kernel::J2).nanos, 300);
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! CI helper: reads JSON from stdin, validates it with the in-tree
+//! parser, and exits nonzero (with a message) when it is empty or
+//! malformed. Used by `ci.sh` to smoke-test `miniqmc --profile json`.
+//!
+//! ```text
+//! miniqmc --benchmark graphite --profile json | json_check
+//! ```
+
+use std::io::Read;
+
+fn main() {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("json_check: cannot read stdin: {e}");
+        std::process::exit(1);
+    }
+    if input.trim().is_empty() {
+        eprintln!("json_check: empty input");
+        std::process::exit(1);
+    }
+    match qmc_instrument::json::parse(&input) {
+        Ok(v) => {
+            // A run report must at least carry its schema tag; plain JSON
+            // from other producers (e.g. Chrome traces) just passes.
+            if let Some(schema) = v.get("schema").and_then(|s| s.as_str()) {
+                println!("json_check: ok (schema {schema})");
+            } else {
+                println!("json_check: ok");
+            }
+        }
+        Err(e) => {
+            eprintln!("json_check: invalid JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+}

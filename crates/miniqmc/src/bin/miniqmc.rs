@@ -1,39 +1,92 @@
 //! The full miniapp (§7.1): a DMC calculation with particle-by-particle
 //! updates and non-local pseudopotentials on a benchmark workload, for any
 //! code version of the paper's ladder. Prints throughput and the hot-spot
-//! profile.
+//! profile, or emits the structured run report / Chrome trace.
 //!
 //! ```text
 //! miniqmc --benchmark nio32 --size scaled --code current \
-//!         --threads 4 --walkers 16 --steps 20 --tau 0.005
+//!         --threads 4 --walkers 16 --steps 20 --tau 0.005 \
+//!         --profile json
 //! ```
 
 use miniqmc::Options;
 use qmc_crowd::{run_vmc_crowd, Crowd};
 use qmc_drivers::{initial_population, run_vmc, Batching, VmcParams};
+use qmc_instrument::{chrome_trace_json, enable_tracing, take_trace_events};
 use qmc_workloads::{run_dmc_benchmark, Benchmark, CodeVersion, RunConfig, Size, Workload};
 
-fn parse_benchmark(s: &str) -> Benchmark {
+const USAGE: &str = "miniqmc: full QMC miniapp (paper §7.1)\n\
+     --benchmark graphite|be64|nio32|nio64 (default nio32)\n\
+     --size scaled|full (default scaled)\n\
+     --code ref|refmp|soa|current|delayedK (default current)\n\
+     --threads N --walkers N --steps N --warmup N --tau X --seed N\n\
+     --crowd W   lock-step crowds of W walkers (0/absent: per-walker)\n\
+     --driver dmc|vmc (default dmc)\n\
+     --profile summary|json|trace:PATH (default summary)\n\
+         summary     human-readable run report + hot-spot table\n\
+         json        machine-readable RunReport JSON on stdout\n\
+         trace:PATH  also write a Chrome trace_event file to PATH\n\
+                     (open in chrome://tracing or ui.perfetto.dev)";
+
+/// Prints the offending value and the usage text to stderr, then exits
+/// nonzero (bad invocations must not panic with a backtrace).
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("miniqmc: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_benchmark(s: &str) -> Result<Benchmark, String> {
     match s.to_ascii_lowercase().as_str() {
-        "graphite" => Benchmark::Graphite,
-        "be64" | "be-64" => Benchmark::Be64,
-        "nio32" | "nio-32" => Benchmark::NiO32,
-        "nio64" | "nio-64" => Benchmark::NiO64,
-        other => panic!("unknown benchmark '{other}' (graphite|be64|nio32|nio64)"),
+        "graphite" => Ok(Benchmark::Graphite),
+        "be64" | "be-64" => Ok(Benchmark::Be64),
+        "nio32" | "nio-32" => Ok(Benchmark::NiO32),
+        "nio64" | "nio-64" => Ok(Benchmark::NiO64),
+        other => Err(format!(
+            "unknown benchmark '{other}' (valid: graphite, be64, nio32, nio64)"
+        )),
     }
 }
 
-fn parse_code(s: &str) -> CodeVersion {
+fn parse_code(s: &str) -> Result<CodeVersion, String> {
     match s.to_ascii_lowercase().as_str() {
-        "ref" => CodeVersion::Ref,
-        "refmp" | "ref+mp" => CodeVersion::RefMp,
-        "soadp" | "soa" => CodeVersion::SoaDouble,
-        "current" => CodeVersion::Current,
+        "ref" => Ok(CodeVersion::Ref),
+        "refmp" | "ref+mp" => Ok(CodeVersion::RefMp),
+        "soadp" | "soa" => Ok(CodeVersion::SoaDouble),
+        "current" => Ok(CodeVersion::Current),
         other => {
             if let Some(k) = other.strip_prefix("delayed") {
-                CodeVersion::CurrentDelayed(k.parse().unwrap_or(16))
+                Ok(CodeVersion::CurrentDelayed(k.parse().unwrap_or(16)))
             } else {
-                panic!("unknown code version '{other}' (ref|refmp|soa|current|delayedK)")
+                Err(format!(
+                    "unknown code version '{other}' (valid: ref, refmp, soa, current, delayedK)"
+                ))
+            }
+        }
+    }
+}
+
+/// Output mode of `--profile`.
+enum ProfileMode {
+    Summary,
+    Json,
+    Trace(String),
+}
+
+fn parse_profile(s: &str) -> Result<ProfileMode, String> {
+    match s {
+        "summary" => Ok(ProfileMode::Summary),
+        "json" => Ok(ProfileMode::Json),
+        other => {
+            if let Some(path) = other.strip_prefix("trace:") {
+                if path.is_empty() {
+                    Err("trace mode needs a path: --profile trace:out.json".into())
+                } else {
+                    Ok(ProfileMode::Trace(path.to_string()))
+                }
+            } else {
+                Err(format!(
+                    "unknown profile mode '{other}' (valid: summary, json, trace:PATH)"
+                ))
             }
         }
     }
@@ -42,23 +95,19 @@ fn parse_code(s: &str) -> CodeVersion {
 fn main() {
     let opts = Options::from_env();
     if opts.has_flag("help") || opts.has_flag("h") {
-        println!(
-            "miniqmc: full QMC miniapp (paper §7.1)\n\
-             --benchmark graphite|be64|nio32|nio64 (default nio32)\n\
-             --size scaled|full (default scaled)\n\
-             --code ref|refmp|soa|current|delayedK (default current)\n\
-             --threads N --walkers N --steps N --warmup N --tau X --seed N\n\
-             --crowd W   lock-step crowds of W walkers (0/absent: per-walker)\n\
-             --driver dmc|vmc (default dmc)"
-        );
+        println!("{USAGE}");
         return;
     }
-    let benchmark = parse_benchmark(opts.get_str("benchmark").unwrap_or("nio32"));
+    let benchmark = parse_benchmark(opts.get_str("benchmark").unwrap_or("nio32"))
+        .unwrap_or_else(|e| fail_usage(&e));
     let size = match opts.get_str("size").unwrap_or("scaled") {
         "full" => Size::Full,
         _ => Size::Scaled,
     };
-    let code = parse_code(opts.get_str("code").unwrap_or("current"));
+    let code =
+        parse_code(opts.get_str("code").unwrap_or("current")).unwrap_or_else(|e| fail_usage(&e));
+    let mode = parse_profile(opts.get_str("profile").unwrap_or("summary"))
+        .unwrap_or_else(|e| fail_usage(&e));
     let crowd = opts.get("crowd", 0usize);
     let cfg = RunConfig {
         threads: opts.get("threads", 2usize),
@@ -74,8 +123,17 @@ fn main() {
         },
     };
 
+    // In JSON mode stdout carries only the report; everything human goes
+    // to stderr.
+    let json_mode = matches!(mode, ProfileMode::Json);
+    macro_rules! say {
+        ($($arg:tt)*) => {
+            if json_mode { eprintln!($($arg)*) } else { println!($($arg)*) }
+        };
+    }
+
     let workload = Workload::new(benchmark, size, cfg.seed);
-    println!(
+    say!(
         "miniqmc: {} ({:?}), N = {} electrons, {} ions, {} orbitals/spin",
         workload.spec.name,
         size,
@@ -83,7 +141,7 @@ fn main() {
         workload.num_ions(),
         workload.num_orbitals()
     );
-    println!(
+    say!(
         "code = {}, threads = {}, walkers = {}, steps = {} (+{} warmup), tau = {}, batching = {}",
         code.label(),
         cfg.threads,
@@ -98,40 +156,84 @@ fn main() {
     );
 
     if opts.get_str("driver") == Some("vmc") {
-        run_vmc_mode(&workload, code, &cfg);
+        if json_mode {
+            fail_usage("--profile json is only available for the DMC driver");
+        }
+        run_vmc_mode(&workload, code, &cfg, &mode);
         return;
     }
+
+    if let ProfileMode::Trace(_) = mode {
+        enable_tracing(true);
+    }
     let out = run_dmc_benchmark(&workload, code, &cfg);
-    println!();
-    println!(
-        "throughput       {:>12.2} samples/s   ({} samples in {:.3} s)",
-        out.throughput(),
-        out.samples,
-        out.seconds
-    );
-    println!(
-        "energy           {:>12.4} +- {:.4}  (tau_corr {:.1})",
-        out.energy.0, out.energy.1, out.energy.2
-    );
-    println!("acceptance       {:>12.3}", out.acceptance);
-    println!(
-        "DMC efficiency   {:>12.3e}  (kappa = 1/(sigma^2 tau_corr T_MC), §3)",
-        out.kappa()
-    );
-    println!(
-        "memory           walker {:.2} MiB, engine {:.2} MiB, spline table {:.2} MiB",
-        out.walker_bytes as f64 / (1 << 20) as f64,
-        out.engine_bytes as f64 / (1 << 20) as f64,
-        out.table_bytes as f64 / (1 << 20) as f64
-    );
-    println!();
-    println!("hot-spot profile (merged over threads):");
-    print!("{}", out.profile.to_table());
+    let report = out.report(&workload, &cfg);
+
+    match mode {
+        ProfileMode::Json => {
+            println!("{}", report.to_json());
+        }
+        ProfileMode::Summary | ProfileMode::Trace(_) => {
+            println!();
+            println!(
+                "throughput       {:>12.2} samples/s   ({} samples in {:.3} s)",
+                out.throughput(),
+                out.samples,
+                out.seconds
+            );
+            println!(
+                "energy           {:>12.4} +- {:.4}  (tau_corr {:.1})",
+                out.energy.0, out.energy.1, out.energy.2
+            );
+            println!("acceptance       {:>12.3}", out.acceptance);
+            println!(
+                "DMC efficiency   {:>12.3e}  (kappa = 1/(sigma^2 tau_corr T_MC), §3)",
+                out.kappa()
+            );
+            println!(
+                "memory           walker {:.2} MiB, engine {:.2} MiB, spline table {:.2} MiB",
+                out.walker_bytes as f64 / (1 << 20) as f64,
+                out.engine_bytes as f64 / (1 << 20) as f64,
+                out.table_bytes as f64 / (1 << 20) as f64
+            );
+            if report.drift.refreshes > 0 {
+                println!(
+                    "mp drift         mean |dlogpsi| {:.3e}, max {:.3e} over {} refreshes",
+                    report.drift.mean_abs(),
+                    report.drift.max_abs,
+                    report.drift.refreshes
+                );
+            }
+            println!();
+            println!("hot-spot profile (merged over threads):");
+            print!("{}", out.profile.to_table());
+            if let ProfileMode::Trace(path) = mode {
+                write_trace(&path);
+            }
+        }
+    }
+}
+
+/// Drains collected spans and writes the Chrome trace file.
+fn write_trace(path: &str) {
+    enable_tracing(false);
+    let events = take_trace_events();
+    let json = chrome_trace_json(&events);
+    match std::fs::write(path, &json) {
+        Ok(()) => println!(
+            "\ntrace: {} spans -> {path} (open in chrome://tracing or ui.perfetto.dev)",
+            events.len()
+        ),
+        Err(e) => {
+            eprintln!("miniqmc: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// VMC mode: a variational run with per-block recompute — one engine, or
 /// one lock-step crowd when `--crowd W` is given (results are identical).
-fn run_vmc_mode(workload: &Workload, code: CodeVersion, cfg: &RunConfig) {
+fn run_vmc_mode(workload: &Workload, code: CodeVersion, cfg: &RunConfig, mode: &ProfileMode) {
     let params = VmcParams {
         blocks: (cfg.steps / 4).max(1),
         steps_per_block: 4,
@@ -143,6 +245,9 @@ fn run_vmc_mode(workload: &Workload, code: CodeVersion, cfg: &RunConfig) {
         "driver = VMC: {} blocks x {} sweeps",
         params.blocks, params.steps_per_block
     );
+    if let ProfileMode::Trace(_) = mode {
+        enable_tracing(true);
+    }
     macro_rules! go {
         ($build:expr) => {{
             let mut walkers =
@@ -177,5 +282,8 @@ fn run_vmc_mode(workload: &Workload, code: CodeVersion, cfg: &RunConfig) {
         go!(workload.build_engine_f32(code));
     } else {
         go!(workload.build_engine_f64(code));
+    }
+    if let ProfileMode::Trace(path) = mode {
+        write_trace(path);
     }
 }

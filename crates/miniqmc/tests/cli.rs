@@ -1,0 +1,278 @@
+//! End-to-end CLI tests for the `miniqmc` binary: bad-argument handling
+//! (usage + nonzero exit instead of a panic backtrace) and the golden
+//! `--profile json` / `--profile trace:PATH` report paths.
+
+use qmc_instrument::{json, ALL_KERNELS};
+use std::process::Command;
+
+fn miniqmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_miniqmc"))
+}
+
+/// Tiny graphite run on one thread: per-kernel scopes are non-nested leaf
+/// timers, so with a single worker their times must sum to <= wall time.
+fn tiny_args() -> [&'static str; 10] {
+    [
+        "--benchmark",
+        "graphite",
+        "--threads",
+        "1",
+        "--walkers",
+        "2",
+        "--steps",
+        "4",
+        "--warmup",
+        "1",
+    ]
+}
+
+#[test]
+fn bad_benchmark_prints_usage_and_exits_nonzero() {
+    let out = miniqmc()
+        .args(["--benchmark", "no-such-material"])
+        .output()
+        .expect("spawn miniqmc");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown benchmark"), "{stderr}");
+    // Usage must list the valid values.
+    for valid in ["graphite", "be64", "nio32", "nio64"] {
+        assert!(stderr.contains(valid), "usage missing '{valid}': {stderr}");
+    }
+    assert!(
+        !stderr.contains("panicked"),
+        "must not panic with a backtrace: {stderr}"
+    );
+}
+
+#[test]
+fn bad_code_version_prints_usage_and_exits_nonzero() {
+    let out = miniqmc()
+        .args(["--code", "turbo"])
+        .output()
+        .expect("spawn miniqmc");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown code version"), "{stderr}");
+    for valid in ["ref", "refmp", "soa", "current"] {
+        assert!(stderr.contains(valid), "usage missing '{valid}': {stderr}");
+    }
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn bad_profile_mode_prints_usage_and_exits_nonzero() {
+    let out = miniqmc()
+        .args(["--profile", "xml"])
+        .output()
+        .expect("spawn miniqmc");
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown profile mode"), "{stderr}");
+}
+
+#[test]
+fn golden_json_report_covers_all_kernels_within_wall_time() {
+    let out = miniqmc()
+        .args(tiny_args())
+        .args(["--profile", "json"])
+        .output()
+        .expect("spawn miniqmc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8 stdout");
+    let v = json::parse(&stdout).expect("stdout is one valid JSON document");
+
+    assert_eq!(
+        v.get("schema").and_then(|s| s.as_str()),
+        Some(qmc_instrument::RUN_REPORT_SCHEMA)
+    );
+    assert_eq!(
+        v.get("benchmark").and_then(|s| s.as_str()),
+        Some("Graphite")
+    );
+
+    // Every kernel category is present, and per-kernel times sum to no
+    // more than the total wall time (single-threaded leaf timers).
+    let kernels = v.get("kernels").expect("kernels object");
+    let mut kernel_sum = 0.0;
+    for &k in &ALL_KERNELS {
+        let s = kernels
+            .get(k.label())
+            .unwrap_or_else(|| panic!("kernel '{}' missing from report", k.label()));
+        kernel_sum += s.get("seconds").unwrap().as_f64().expect("seconds");
+    }
+    let wall = v.get("seconds").unwrap().as_f64().expect("wall seconds");
+    assert!(wall > 0.0);
+    assert!(
+        kernel_sum <= wall,
+        "kernel sum {kernel_sum} exceeds wall {wall}"
+    );
+    assert!(kernel_sum > 0.0, "profile must not be empty");
+
+    // Accept ratio and population trajectory round out the report.
+    let acc = v.get("acceptance").unwrap().as_f64().unwrap();
+    assert!(acc > 0.0 && acc <= 1.0);
+    let pop = v.get("population").unwrap().as_arr().unwrap();
+    assert_eq!(pop.len(), 4, "one population entry per step");
+    assert!(v.get("e_trial_trace").unwrap().as_arr().unwrap().len() == 4);
+    // Per-worker profiles: one group for the single thread.
+    assert_eq!(v.get("crowd_kernels").unwrap().as_arr().unwrap().len(), 1);
+}
+
+#[test]
+fn json_report_with_crowds_has_per_crowd_profiles() {
+    let out = miniqmc()
+        .args([
+            "--benchmark",
+            "graphite",
+            "--threads",
+            "2",
+            "--walkers",
+            "4",
+            "--steps",
+            "3",
+            "--warmup",
+            "1",
+            "--crowd",
+            "2",
+            "--profile",
+            "json",
+        ])
+        .output()
+        .expect("spawn miniqmc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v = json::parse(&String::from_utf8(out.stdout).unwrap()).expect("valid JSON");
+    assert_eq!(v.get("crowd_size").unwrap().as_f64(), Some(2.0));
+    let groups = v.get("crowd_kernels").unwrap().as_arr().unwrap();
+    assert_eq!(groups.len(), 2, "one profile per crowd");
+    // Each crowd did real work (SPO evaluations landed in its group).
+    for g in groups {
+        let calls = g
+            .get("Bspline-vgh")
+            .unwrap()
+            .get("calls")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(calls > 0.0, "crowd profile recorded no SPO calls");
+    }
+}
+
+#[test]
+fn trace_mode_writes_chrome_trace_with_spans() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("miniqmc_trace_{}.json", std::process::id()));
+    let path_arg = format!("trace:{}", path.display());
+    let out = miniqmc()
+        .args([
+            "--benchmark",
+            "graphite",
+            "--threads",
+            "2",
+            "--walkers",
+            "4",
+            "--steps",
+            "3",
+            "--warmup",
+            "1",
+            "--crowd",
+            "2",
+            "--profile",
+            &path_arg,
+        ])
+        .output()
+        .expect("spawn miniqmc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    let v = json::parse(&text).expect("trace is valid JSON");
+    let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .map(|e| e.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert!(!names.is_empty(), "trace has no spans");
+    assert!(
+        names.iter().any(|n| n.starts_with("crowd generation")),
+        "per-crowd spans missing: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("block ")),
+        "per-block spans missing: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n.starts_with("step ")),
+        "driver step spans missing: {names:?}"
+    );
+    // Spans land on distinct lanes (tid = crowd index / driver lane).
+    let mut tids: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .map(|e| e.get("tid").unwrap().as_f64().unwrap() as u64)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(tids.len() >= 2, "expected multiple lanes, got {tids:?}");
+}
+
+#[test]
+fn profiling_modes_do_not_change_results() {
+    // Determinism guard: the same seeded run must produce bitwise
+    // identical physics with profiling off (summary), json, and tracing.
+    let summary = miniqmc().args(tiny_args()).output().expect("spawn miniqmc");
+    let json_out = miniqmc()
+        .args(tiny_args())
+        .args(["--profile", "json"])
+        .output()
+        .expect("spawn miniqmc");
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("miniqmc_det_{}.json", std::process::id()));
+    let trace_out = miniqmc()
+        .args(tiny_args())
+        .args(["--profile", &format!("trace:{}", path.display())])
+        .output()
+        .expect("spawn miniqmc");
+    let _ = std::fs::remove_file(&path);
+    assert!(summary.status.success());
+    assert!(json_out.status.success());
+    assert!(trace_out.status.success());
+
+    let energy_line = |s: &str| -> String {
+        s.lines()
+            .find(|l| l.starts_with("energy"))
+            .expect("energy line")
+            .to_string()
+    };
+    let e_summary = energy_line(&String::from_utf8_lossy(&summary.stdout));
+    let e_trace = energy_line(&String::from_utf8_lossy(&trace_out.stdout));
+    assert_eq!(e_summary, e_trace, "tracing changed the physics");
+
+    let v = json::parse(&String::from_utf8(json_out.stdout).unwrap()).unwrap();
+    let mean = v
+        .get("energy")
+        .unwrap()
+        .get("mean")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(
+        e_summary.contains(&format!("{mean:.4}")),
+        "json mean {mean} not consistent with summary: {e_summary}"
+    );
+}

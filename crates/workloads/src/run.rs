@@ -7,7 +7,7 @@ use crate::build::{CodeVersion, Workload};
 use qmc_containers::Real;
 use qmc_crowd::{run_dmc_crowd, CrowdScheduler};
 use qmc_drivers::{initial_population, run_dmc_parallel, Batching, DmcParams, QmcEngine, Walker};
-use qmc_instrument::Profile;
+use qmc_instrument::{take_drift_stats, DriftStats, Profile, RunReport};
 
 /// Execution configuration for one benchmark run.
 #[derive(Clone, Copy, Debug)]
@@ -53,10 +53,20 @@ pub struct RunOutcome {
     pub samples: u64,
     /// Per-kernel profile merged over all threads.
     pub profile: Profile,
+    /// Per-thread / per-crowd kernel profiles, in chunk order.
+    pub crowd_profiles: Vec<Profile>,
     /// `(mean, error, tau_corr)` of the mixed energy estimator.
     pub energy: (f64, f64, f64),
     /// Move acceptance ratio.
     pub acceptance: f64,
+    /// Walker population after each generation.
+    pub population: Vec<usize>,
+    /// Trial energy after each generation's feedback update.
+    pub e_trial_trace: Vec<f64>,
+    /// Final trial energy.
+    pub e_trial: f64,
+    /// Mixed-precision log psi drift observed at from-scratch refreshes.
+    pub drift: DriftStats,
     /// Bytes of one walker (positions + anonymous buffer).
     pub walker_bytes: usize,
     /// Bytes of one engine (wavefunction internals + distance tables).
@@ -92,6 +102,40 @@ impl RunOutcome {
     pub fn total_bytes(&self, threads: usize, walkers: usize) -> usize {
         self.table_bytes + threads * self.engine_bytes + walkers * self.walker_bytes
     }
+
+    /// Assembles the structured [`RunReport`] every front-end serializes
+    /// (`miniqmc --profile json` and the bench binaries).
+    pub fn report(&self, workload: &Workload, cfg: &RunConfig) -> RunReport {
+        let (mean, err, tau_corr) = self.energy;
+        RunReport {
+            benchmark: workload.spec.name.to_string(),
+            code: self.label.clone(),
+            electrons: workload.num_electrons(),
+            ions: workload.num_ions(),
+            threads: cfg.threads,
+            walkers: cfg.walkers,
+            steps: cfg.steps,
+            crowd_size: match cfg.batching {
+                Batching::PerWalker => 0,
+                Batching::Crowd(_) => cfg.batching.crowd_size(),
+            },
+            seconds: self.seconds,
+            samples: self.samples,
+            acceptance: self.acceptance,
+            energy_mean: mean,
+            energy_err: err,
+            energy_tau: tau_corr,
+            e_trial: self.e_trial,
+            population: self.population.clone(),
+            e_trial_trace: self.e_trial_trace.clone(),
+            profile: self.profile.clone(),
+            crowd_profiles: self.crowd_profiles.clone(),
+            drift: self.drift,
+            walker_bytes: self.walker_bytes as u64,
+            engine_bytes: self.engine_bytes as u64,
+            table_bytes: self.table_bytes as u64,
+        }
+    }
 }
 
 fn run_generic<T: Real>(
@@ -112,6 +156,8 @@ fn run_generic<T: Real>(
         batching: cfg.batching,
     };
     let threads = cfg.threads.max(1);
+    // Reset the global drift counters so the run owns what it reports.
+    take_drift_stats();
     let (res, profile, engine_bytes, seconds);
     match cfg.batching {
         Batching::PerWalker => {
@@ -139,9 +185,14 @@ fn run_generic<T: Real>(
         label: code.label(),
         seconds,
         samples: res.samples,
-        profile,
+        profile: profile.total,
+        crowd_profiles: profile.groups,
         energy: res.energy.blocking(),
         acceptance: res.acceptance,
+        population: res.population,
+        e_trial_trace: res.e_trial_trace,
+        e_trial: res.e_trial,
+        drift: take_drift_stats(),
         walker_bytes: walkers.first().map(|w| w.bytes()).unwrap_or(0),
         engine_bytes,
         table_bytes: workload.table_bytes(code.single_precision()),
