@@ -10,16 +10,29 @@ cargo fmt --all -- --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== qmclint (project invariants) =="
+cargo run --release -q -p qmclint -- --root .
+
 echo "== build (release) =="
 cargo build --release
 
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== sanitizer tests (checked feature) =="
+cargo test -q -p qmc-drivers --features checked
+
 echo "== bench smoke (crowd kernels) =="
 cargo bench -p qmc-bench --bench bench_crowd -- --test
 
 echo "== run-report smoke (miniqmc --profile json) =="
+./target/release/miniqmc --benchmark graphite --threads 1 --walkers 2 \
+    --steps 4 --warmup 1 --profile json | ./target/release/json_check
+
+echo "== run-report smoke (checked build: sanitizer live) =="
+# Rebuild with the runtime invariant sanitizer compiled in; json_check
+# exits nonzero if the report carries any sanitizer violations.
+cargo build --release -q -p miniqmc --features checked
 ./target/release/miniqmc --benchmark graphite --threads 1 --walkers 2 \
     --steps 4 --warmup 1 --profile json | ./target/release/json_check
 

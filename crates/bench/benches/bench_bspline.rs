@@ -33,28 +33,28 @@ fn bench_precision<T: Real>(c: &mut Criterion, tag: &str) {
             idx = (idx + 1) % points.len();
             table.evaluate_v_ref(points[idx], &mut psi);
             black_box(&psi);
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("v", "soa"), |b| {
         b.iter(|| {
             idx = (idx + 1) % points.len();
             table.evaluate_v(points[idx], &mut psi);
             black_box(&psi);
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("vgh", "ref"), |b| {
         b.iter(|| {
             idx = (idx + 1) % points.len();
             table.evaluate_vgh_ref(points[idx], &mut psi, &mut grad, &mut hess);
             black_box(&psi);
-        })
+        });
     });
     group.bench_function(BenchmarkId::new("vgh", "soa"), |b| {
         b.iter(|| {
             idx = (idx + 1) % points.len();
             table.evaluate_vgh(points[idx], &mut psi, &mut grad, &mut hess);
             black_box(&psi);
-        })
+        });
     });
     group.finish();
 }

@@ -57,7 +57,7 @@ fn bench_spo_mw_vgl(c: &mut Criterion) {
                 }
                 idx = (idx + nw) % pool.len();
                 black_box(&psi);
-            })
+            });
         });
         group.bench_function(BenchmarkId::new("batched", nw), |b| {
             b.iter(|| {
@@ -65,7 +65,7 @@ fn bench_spo_mw_vgl(c: &mut Criterion) {
                 spo.mw_evaluate_vgl(&pos, &mut psi, &mut grad, &mut lap);
                 idx = (idx + nw) % pool.len();
                 black_box(&psi);
-            })
+            });
         });
     }
     group.finish();
@@ -141,7 +141,7 @@ fn bench_j2_mw_ratio(c: &mut Criterion) {
                     *r = j2.ratio_grad(p, iat, g);
                 }
                 black_box(&ratios);
-            })
+            });
         });
         group.bench_function(BenchmarkId::new("batched", nw), |b| {
             b.iter(|| {
@@ -157,7 +157,7 @@ fn bench_j2_mw_ratio(c: &mut Criterion) {
                     &mut grads,
                 );
                 black_box(&ratios);
-            })
+            });
         });
     }
     group.finish();

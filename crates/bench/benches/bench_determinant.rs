@@ -42,7 +42,7 @@ fn bench_determinant(c: &mut Criterion) {
                     sherman_morrison_update(&mut m, k, v, r);
                 }
                 black_box(&m);
-            })
+            });
         });
         for &delay in &[4usize, 16, 32] {
             group.bench_function(BenchmarkId::new("sweep", format!("delayed{delay}")), |b| {
@@ -55,7 +55,7 @@ fn bench_determinant(c: &mut Criterion) {
                     }
                     d.flush();
                     black_box(d.minv_t());
-                })
+                });
             });
         }
         group.finish();

@@ -41,7 +41,7 @@ fn bench_distance(c: &mut Criterion) {
                 b.iter(|| {
                     p.update_tables();
                     black_box(&p);
-                })
+                });
             });
             let newpos = TinyVector([1.234, 5.678, 9.012]);
             group.bench_function(BenchmarkId::new("candidate_row", label), |b| {
@@ -49,7 +49,7 @@ fn bench_distance(c: &mut Criterion) {
                     p.make_move(n / 2, newpos);
                     p.reject_move(n / 2);
                     black_box(&p);
-                })
+                });
             });
             group.bench_function(BenchmarkId::new("move_accept", label), |b| {
                 b.iter(|| {
@@ -57,7 +57,7 @@ fn bench_distance(c: &mut Criterion) {
                     p.make_move(n / 2, newpos);
                     p.accept_move(n / 2);
                     black_box(&p);
-                })
+                });
             });
         }
         group.finish();

@@ -68,7 +68,7 @@ fn bench_jastrow(c: &mut Criterion) {
             let newpos = p.pos(iat) + TinyVector([0.2, -0.1, 0.15]);
 
             group.bench_function(BenchmarkId::new("evaluate_log", label), |b| {
-                b.iter(|| black_box(j2.evaluate_log(&mut p)))
+                b.iter(|| black_box(j2.evaluate_log(&mut p)));
             });
             group.bench_function(BenchmarkId::new("ratio_grad", label), |b| {
                 p.prepare_move(iat);
@@ -87,7 +87,7 @@ fn bench_jastrow(c: &mut Criterion) {
                     black_box(j2.ratio_grad(&p, iat, &mut g));
                     j2.accept_move(&p, iat);
                     p.accept_move(iat);
-                })
+                });
             });
         }
         group.finish();

@@ -22,7 +22,7 @@ fn bench_engine<T: Real>(
             let stats = engine.sweep(0.005, &mut rng);
             let el = engine.measure(&mut rng);
             black_box((stats, el));
-        })
+        });
     });
 }
 

@@ -32,7 +32,7 @@ fn bench_tiled(c: &mut Criterion) {
                 idx = (idx + 1) % points.len();
                 mono.evaluate_v(points[idx], &mut psi);
                 black_box(&psi);
-            })
+            });
         });
         for &w in &[64usize, 128] {
             if w > ns {
@@ -44,7 +44,7 @@ fn bench_tiled(c: &mut Criterion) {
                     idx = (idx + 1) % points.len();
                     tiled.evaluate_v(points[idx], &mut psi);
                     black_box(&psi);
-                })
+                });
             });
         }
         group.finish();

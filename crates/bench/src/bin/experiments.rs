@@ -21,7 +21,7 @@ fn main() {
     ];
     let exe_dir = std::env::current_exe()
         .ok()
-        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
         .expect("cannot locate binary directory");
 
     let mut failed = Vec::new();

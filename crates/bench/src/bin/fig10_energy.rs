@@ -49,7 +49,7 @@ fn main() {
     let tc = m_cur.power_trace(interval);
     for i in 0..tr.len().max(tc.len()) {
         let (t, wr) = tr.get(i).copied().unwrap_or((i as f64 * interval, 0.0));
-        let wc = tc.get(i).map(|x| x.1).unwrap_or(0.0);
+        let wc = tc.get(i).map_or(0.0, |x| x.1);
         println!("{t:>10.3} {wr:>10.0} {wc:>10.0}");
     }
 

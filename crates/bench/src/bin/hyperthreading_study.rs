@@ -12,9 +12,7 @@ use qmc_workloads::{run_dmc_benchmark, Benchmark, CodeVersion, RunConfig};
 fn main() {
     let cfg = HarnessConfig::from_env();
     let w = cfg.workload(Benchmark::NiO32);
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2);
+    let hw = std::thread::available_parallelism().map_or(2, std::num::NonZero::get);
     println!(
         "== §8.2 hyperthreading study: {} ({} electrons), hw parallelism {} ==",
         w.spec.name,

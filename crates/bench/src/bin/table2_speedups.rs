@@ -29,7 +29,7 @@ fn main() {
         let c = run_report(&w, CodeVersion::Current, &cfg);
         let s = c.throughput() / r.throughput();
         speedups.push((w.spec.name, s));
-        print!("{:>9.1}x", s);
+        print!("{s:>9.1}x");
     }
     println!();
     println!("\nmeasured (this host, {:?} size):", cfg.size());

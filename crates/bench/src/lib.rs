@@ -38,9 +38,7 @@ impl HarnessConfig {
                 .unwrap_or(default)
         };
         let full = args.iter().any(|a| a == "--full");
-        let default_threads = std::thread::available_parallelism()
-            .map(|n| n.get().min(8))
-            .unwrap_or(2);
+        let default_threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
         Self {
             full,
             threads: get("--threads", default_threads),

@@ -28,6 +28,8 @@ use qmc_containers::{padded_len, AlignedVec, Real};
 /// `(a, b, a)` (sub/diag/super plus periodic corners) for the right-hand
 /// side `rhs`, returning the solution. Used to build interpolating periodic
 /// B-splines.
+// qmclint: cold — periodic-interpolation solve used only while building
+// coefficient tables, never inside a Monte Carlo step.
 pub fn solve_cyclic_tridiagonal(a: f64, b: f64, rhs: &[f64]) -> Vec<f64> {
     let n = rhs.len();
     assert!(n >= 3);
@@ -116,7 +118,7 @@ impl<T: Real> MultiBspline3D<T> {
         let [nx, ny, nz] = grid;
         // Fill logical control points, then replicate ghosts.
         let mut logical = vec![0.0f64; nx * ny * nz * num_splines];
-        for v in logical.iter_mut() {
+        for v in &mut logical {
             *v = next() * scale;
         }
         table.set_control_points(|ix, iy, iz, s| {
@@ -157,6 +159,8 @@ impl<T: Real> MultiBspline3D<T> {
     /// Builds an *interpolating* table: the resulting splines take the
     /// values `f(ix, iy, iz, s)` exactly at the periodic grid points.
     /// Solves the cyclic collocation system along each axis in turn.
+    // qmclint: cold — table construction (interpolating fit over the full
+    // grid); runs once before the drivers start.
     pub fn interpolating(
         grid: [usize; 3],
         num_splines: usize,
@@ -252,7 +256,7 @@ impl<T: Real> MultiBspline3D<T> {
     }
 
     #[inline]
-    fn locate(&self, u: T, n: usize) -> (usize, T) {
+    fn locate(u: T, n: usize) -> (usize, T) {
         // Wrap fractional coordinate into [0,1) then scale to grid units.
         let mut uf = u - u.floor();
         if uf >= T::ONE {
@@ -272,9 +276,9 @@ impl<T: Real> MultiBspline3D<T> {
     /// writing `num_splines` values into `psi`. Spline index innermost.
     pub fn evaluate_v(&self, u: [T; 3], psi: &mut [T]) {
         assert!(psi.len() >= self.num_splines);
-        let (ix, ux) = self.locate(u[0], self.grid[0]);
-        let (iy, uy) = self.locate(u[1], self.grid[1]);
-        let (iz, uz) = self.locate(u[2], self.grid[2]);
+        let (ix, ux) = Self::locate(u[0], self.grid[0]);
+        let (iy, uy) = Self::locate(u[1], self.grid[1]);
+        let (iz, uz) = Self::locate(u[2], self.grid[2]);
         let (wx, _, _) = bspline_weights(ux);
         let (wy, _, _) = bspline_weights(uy);
         let (wz, _, _) = bspline_weights(uz);
@@ -303,9 +307,9 @@ impl<T: Real> MultiBspline3D<T> {
     pub fn evaluate_vgh(&self, u: [T; 3], psi: &mut [T], grad: &mut [T], hess: &mut [T]) {
         let ns = self.num_splines;
         assert!(psi.len() >= ns && grad.len() >= 3 * ns && hess.len() >= 6 * ns);
-        let (ix, ux) = self.locate(u[0], self.grid[0]);
-        let (iy, uy) = self.locate(u[1], self.grid[1]);
-        let (iz, uz) = self.locate(u[2], self.grid[2]);
+        let (ix, ux) = Self::locate(u[0], self.grid[0]);
+        let (iy, uy) = Self::locate(u[1], self.grid[1]);
+        let (iz, uz) = Self::locate(u[2], self.grid[2]);
         let (wx, dwx, d2wx) = bspline_weights(ux);
         let (wy, dwy, d2wy) = bspline_weights(uy);
         let (wz, dwz, d2wz) = bspline_weights(uz);
@@ -383,9 +387,9 @@ impl<T: Real> MultiBspline3D<T> {
     ) {
         let ns = self.num_splines;
         assert!(psi.len() >= ns && grad.len() >= 3 * ns && lap.len() >= ns);
-        let (ix, ux) = self.locate(u[0], self.grid[0]);
-        let (iy, uy) = self.locate(u[1], self.grid[1]);
-        let (iz, uz) = self.locate(u[2], self.grid[2]);
+        let (ix, ux) = Self::locate(u[0], self.grid[0]);
+        let (iy, uy) = Self::locate(u[1], self.grid[1]);
+        let (iz, uz) = Self::locate(u[2], self.grid[2]);
         let (wx, mut dwx, mut d2wx) = bspline_weights(ux);
         let (wy, mut dwy, mut d2wy) = bspline_weights(uy);
         let (wz, mut dwz, mut d2wz) = bspline_weights(uz);
@@ -456,6 +460,9 @@ impl<T: Real> MultiBspline3D<T> {
     /// walker `w` owns `psi[w*ns..]`, `grad[w*3*ns..]`, `lap[w*ns..]`.
     /// Per-walker results are bit-identical to [`Self::evaluate_vgl`] at
     /// the same position (each walker is an independent accumulation).
+    // qmclint: allow(timer-coverage) — timed by the caller: BsplineSpo wraps
+    // this in Kernel::BsplineMwVGL; the bspline crate itself stays free of
+    // instrumentation dependencies.
     pub fn mw_evaluate_vgl(
         &self,
         us: &[[T; 3]],
@@ -484,9 +491,9 @@ impl<T: Real> MultiBspline3D<T> {
     /// per-orbital strided pattern of the baseline code).
     pub fn evaluate_v_ref(&self, u: [T; 3], psi: &mut [T]) {
         assert!(psi.len() >= self.num_splines);
-        let (ix, ux) = self.locate(u[0], self.grid[0]);
-        let (iy, uy) = self.locate(u[1], self.grid[1]);
-        let (iz, uz) = self.locate(u[2], self.grid[2]);
+        let (ix, ux) = Self::locate(u[0], self.grid[0]);
+        let (iy, uy) = Self::locate(u[1], self.grid[1]);
+        let (iz, uz) = Self::locate(u[2], self.grid[2]);
         let (wx, _, _) = bspline_weights(ux);
         let (wy, _, _) = bspline_weights(uy);
         let (wz, _, _) = bspline_weights(uz);
@@ -509,9 +516,9 @@ impl<T: Real> MultiBspline3D<T> {
     pub fn evaluate_vgh_ref(&self, u: [T; 3], psi: &mut [T], grad: &mut [T], hess: &mut [T]) {
         let ns = self.num_splines;
         assert!(psi.len() >= ns && grad.len() >= 3 * ns && hess.len() >= 6 * ns);
-        let (ix, ux) = self.locate(u[0], self.grid[0]);
-        let (iy, uy) = self.locate(u[1], self.grid[1]);
-        let (iz, uz) = self.locate(u[2], self.grid[2]);
+        let (ix, ux) = Self::locate(u[0], self.grid[0]);
+        let (iy, uy) = Self::locate(u[1], self.grid[1]);
+        let (iz, uz) = Self::locate(u[2], self.grid[2]);
         let (wx, dwx, d2wx) = bspline_weights(ux);
         let (wy, dwy, d2wy) = bspline_weights(uy);
         let (wz, dwz, d2wz) = bspline_weights(uz);
@@ -564,7 +571,7 @@ impl<T: Real> MultiBspline3D<T> {
         let pairs = [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)];
         for (h, (a, b)) in pairs.iter().enumerate() {
             let scale = n[*a] * n[*b];
-            for x in hess[h * ns..(h + 1) * ns].iter_mut() {
+            for x in &mut hess[h * ns..(h + 1) * ns] {
                 *x *= scale;
             }
         }

@@ -28,6 +28,11 @@ pub struct TiledMultiBspline3D<T: Real> {
     tiles: Vec<MultiBspline3D<T>>,
     tile_width: usize,
     num_splines: usize,
+    /// Tile-local gradient scratch (3 slabs of `tile_width`), reused across
+    /// [`Self::evaluate_vgh`] calls so the per-step path stays allocation-free.
+    scratch_tg: Vec<T>,
+    /// Tile-local Hessian scratch (6 slabs of `tile_width`).
+    scratch_th: Vec<T>,
 }
 
 impl<T: Real> TiledMultiBspline3D<T> {
@@ -46,6 +51,8 @@ impl<T: Real> TiledMultiBspline3D<T> {
             tiles,
             tile_width,
             num_splines,
+            scratch_tg: vec![T::ZERO; 3 * tile_width],
+            scratch_th: vec![T::ZERO; 6 * tile_width],
         }
     }
 
@@ -71,6 +78,8 @@ impl<T: Real> TiledMultiBspline3D<T> {
             tiles,
             tile_width,
             num_splines,
+            scratch_tg: vec![T::ZERO; 3 * tile_width],
+            scratch_th: vec![T::ZERO; 6 * tile_width],
         }
     }
 
@@ -86,7 +95,10 @@ impl<T: Real> TiledMultiBspline3D<T> {
 
     /// Bytes of coefficient storage across tiles.
     pub fn bytes(&self) -> usize {
-        self.tiles.iter().map(|t| t.bytes()).sum()
+        self.tiles
+            .iter()
+            .map(super::spline3d::MultiBspline3D::bytes)
+            .sum()
     }
 
     /// Serial tiled value evaluation: same result as the monolithic
@@ -116,14 +128,19 @@ impl<T: Real> TiledMultiBspline3D<T> {
 
     /// Serial tiled VGH evaluation (slab strides follow the *caller's*
     /// `num_splines`, matching the monolithic convention).
-    pub fn evaluate_vgh(&self, u: [T; 3], psi: &mut [T], grad: &mut [T], hess: &mut [T]) {
+    pub fn evaluate_vgh(&mut self, u: [T; 3], psi: &mut [T], grad: &mut [T], hess: &mut [T]) {
         let ns = self.num_splines;
         assert!(psi.len() >= ns && grad.len() >= 3 * ns && hess.len() >= 6 * ns);
         let mut first = 0;
-        // Per-tile scratch with tile-local slab strides, then scatter.
-        let mut tg = vec![T::ZERO; 3 * self.tile_width];
-        let mut th = vec![T::ZERO; 6 * self.tile_width];
-        for tile in &self.tiles {
+        // Per-tile scratch (preallocated, tile-local slab strides), then
+        // scatter into the caller's monolithic slabs.
+        let Self {
+            tiles,
+            scratch_tg: tg,
+            scratch_th: th,
+            ..
+        } = self;
+        for tile in tiles.iter() {
             let w = tile.num_splines();
             tile.evaluate_vgh(
                 u,
@@ -177,7 +194,7 @@ mod tests {
         let ns = 7;
         let mut mono = MultiBspline3D::<f64>::zeros(grid, ns);
         mono.set_control_points(field);
-        let tiled = TiledMultiBspline3D::<f64>::from_fn(grid, ns, 3, field);
+        let mut tiled = TiledMultiBspline3D::<f64>::from_fn(grid, ns, 3, field);
 
         let u = [0.4, 0.6, 0.8];
         let (mut pa, mut pb) = (vec![0.0; ns], vec![0.0; ns]);

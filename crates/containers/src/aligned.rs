@@ -82,14 +82,14 @@ impl<T: Copy + Default> AlignedVec<T> {
     pub fn as_slice(&self) -> &[T] {
         // SAFETY: blocks provide at least len*size_of::<T>() bytes with
         // alignment >= align_of::<T>() and T is plain old data.
-        unsafe { std::slice::from_raw_parts(self.blocks.as_ptr() as *const T, self.len) }
+        unsafe { std::slice::from_raw_parts(self.blocks.as_ptr().cast::<T>(), self.len) }
     }
 
     /// Mutable view of all elements.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         // SAFETY: as in `as_slice`; &mut self guarantees uniqueness.
-        unsafe { std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr() as *mut T, self.len) }
+        unsafe { std::slice::from_raw_parts_mut(self.blocks.as_mut_ptr().cast::<T>(), self.len) }
     }
 
     /// Fills every element with `value`.

@@ -152,7 +152,7 @@ impl<T: Real> Matrix<T> {
     pub fn max_abs_diff(&self, other: &Matrix<T>) -> f64 {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
-        let mut m = 0.0f64;
+        let mut m: f64 = 0.0;
         for i in 0..self.rows {
             for j in 0..self.cols {
                 m = m.max((self[(i, j)].to_f64() - other[(i, j)].to_f64()).abs());

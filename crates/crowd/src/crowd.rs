@@ -77,7 +77,7 @@ impl<T: Real> Crowd<T> {
         let n = self.slots[0].pset.len();
 
         let mut g: Vec<Pos<f64>> = vec![TinyVector::zero(); nw];
-        let mut ratios = vec![1.0f64; nw];
+        let mut ratios: Vec<f64> = vec![1.0; nw];
         let mut oldpos: Vec<Pos<f64>> = vec![TinyVector::zero(); nw];
         let mut newpos: Vec<Pos<f64>> = vec![TinyVector::zero(); nw];
         let mut chi: Vec<Pos<f64>> = vec![TinyVector::zero(); nw];
@@ -85,7 +85,7 @@ impl<T: Real> Crowd<T> {
 
         for iat in 0..n {
             // Stage A: batched gradient at the current position.
-            for e in self.slots[..nw].iter_mut() {
+            for e in &mut self.slots[..nw] {
                 e.pset.prepare_move(iat);
             }
             {

@@ -39,6 +39,7 @@ pub fn run_dmc_crowd<T: Real>(
     let e0 = if walkers.is_empty() {
         0.0
     } else {
+        // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
         walkers.iter().map(|w| w.e_local).sum::<f64>() / walkers.len() as f64
     };
     let mut branch = BranchController::new(params.target_population, e0, params.tau, params.seed);
@@ -77,6 +78,7 @@ pub fn run_dmc_crowd<T: Real>(
             energy,
             population,
             acceptance: if attempted > 0 {
+                // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
                 accepted as f64 / attempted as f64
             } else {
                 0.0

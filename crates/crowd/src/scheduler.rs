@@ -100,6 +100,10 @@ impl CrowdScheduler {
                             att += stats[s].attempted;
                             let e = crowd.slot_mut(s);
                             let el = e.measure(&mut w.rng).total();
+                            qmc_instrument::check_finite(
+                                qmc_instrument::CheckKind::LocalEnergy,
+                                el,
+                            );
                             let factor = branch.weight_factor(w.e_local, el);
                             w.weight *= factor;
                             w.age = if stats[s].accepted == 0 { w.age + 1 } else { 0 };
@@ -115,7 +119,7 @@ impl CrowdScheduler {
             }
         });
         let (acc, att) = counts.into_inner();
-        let (mut esum, mut wsum) = (0.0f64, 0.0f64);
+        let (mut esum, mut wsum): (f64, f64) = (0.0, 0.0);
         for w in walkers.iter() {
             esum += w.weight * w.e_local;
             wsum += w.weight;

@@ -48,6 +48,10 @@ pub fn run_vmc_crowd<T: Real>(
                     for (s, w) in block.iter_mut().enumerate() {
                         let el = crowd.slot_mut(s).measure(&mut w.rng);
                         w.e_local = el.total();
+                        qmc_instrument::check_finite(
+                            qmc_instrument::CheckKind::LocalEnergy,
+                            w.e_local,
+                        );
                         buffered[s].push(w.e_local);
                     }
                 }
@@ -64,6 +68,7 @@ pub fn run_vmc_crowd<T: Real>(
     VmcResult {
         energy,
         acceptance: if attempted > 0 {
+            // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
             accepted as f64 / attempted as f64
         } else {
             0.0

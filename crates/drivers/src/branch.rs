@@ -43,7 +43,11 @@ impl BranchController {
     /// population.
     pub fn weight_factor(&self, e_old: f64, e_new: f64) -> f64 {
         let x = -self.tau * (0.5 * (e_old + e_new) - self.e_trial);
-        x.clamp(-1.0, 1.0).exp()
+        let factor = x.clamp(-1.0, 1.0).exp();
+        // The clamp bounds a *finite* exponent, but a NaN local energy or
+        // trial energy propagates straight through clamp and exp.
+        qmc_instrument::check_finite(qmc_instrument::CheckKind::BranchWeight, factor);
+        factor
     }
 
     /// Stochastic-rounding birth/death: each walker is replicated
@@ -66,8 +70,7 @@ impl BranchController {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.weight.total_cmp(&b.1.weight))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+            .map_or(0, |(i, _)| i);
         let max_age = self.max_age;
         let mut next: Vec<Walker<T>> = Vec::with_capacity(walkers.len() + 8);
         for (i, mut w) in walkers.drain(..).enumerate() {
@@ -101,8 +104,10 @@ impl BranchController {
     /// Updates the trial energy from the population-weighted energy
     /// estimate and the population feedback term.
     pub fn update_trial_energy(&mut self, e_est: f64, population: usize) {
+        // qmclint: allow(precision-cast) — the population-feedback ratio is a count ratio, exact in f64.
         let ratio = population as f64 / self.target_population as f64;
         self.e_trial = e_est - self.feedback / self.tau * ratio.ln().clamp(-1.0, 1.0);
+        qmc_instrument::check_finite(qmc_instrument::CheckKind::TrialEnergy, self.e_trial);
     }
 }
 
@@ -140,14 +145,14 @@ mod tests {
     fn heavy_walkers_split_light_walkers_die() {
         let mut b = BranchController::new(10, 0.0, 0.01, 5);
         let mut heavy = initial_population::<f64>(&zero_positions(1), 10, 7);
-        for w in heavy.iter_mut() {
+        for w in &mut heavy {
             w.weight = 2.4;
         }
         b.branch(&mut heavy);
         assert!(heavy.len() >= 20, "heavy population {}", heavy.len());
 
         let mut light = initial_population::<f64>(&zero_positions(1), 200, 9);
-        for w in light.iter_mut() {
+        for w in &mut light {
             w.weight = 0.1;
         }
         b.branch(&mut light);
@@ -184,7 +189,7 @@ mod tests {
         let mut b = BranchController::new(10, 0.0, 0.01, 13);
         // Tiny weight + over-age: would almost surely die, must be kept.
         let mut stuck = initial_population::<f64>(&zero_positions(1), 50, 21);
-        for w in stuck.iter_mut() {
+        for w in &mut stuck {
             w.weight = 1e-6;
             w.age = b.max_age + 1;
         }
@@ -197,7 +202,7 @@ mod tests {
 
         // Huge weight + over-age: would normally split 4x, must not.
         let mut heavy = initial_population::<f64>(&zero_positions(1), 50, 22);
-        for w in heavy.iter_mut() {
+        for w in &mut heavy {
             w.weight = 3.9;
             w.age = b.max_age + 1;
         }
@@ -207,7 +212,7 @@ mod tests {
         // At exactly max_age the normal rules still apply (doc says
         // "over max_age").
         let mut normal = initial_population::<f64>(&zero_positions(1), 50, 23);
-        for w in normal.iter_mut() {
+        for w in &mut normal {
             w.weight = 3.9;
             w.age = b.max_age;
         }

@@ -48,7 +48,7 @@ impl HamiltonianSet {
         Self {
             ee,
             ei,
-            ii: ions.map(ion_ion_energy).unwrap_or(0.0),
+            ii: ions.map_or(0.0, ion_ion_energy),
             nlpp,
         }
     }
@@ -69,6 +69,7 @@ impl SweepStats {
         if self.attempted == 0 {
             0.0
         } else {
+            // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
             self.accepted as f64 / self.attempted as f64
         }
     }
@@ -110,6 +111,8 @@ impl<T: Real> QmcEngine<T> {
         w.log_psi = self.psi.evaluate_log(&mut self.pset);
         let el = self.measure_after_fresh_gl(&mut w.rng);
         w.e_local = el.total();
+        qmc_instrument::check_finite(qmc_instrument::CheckKind::LogPsi, w.log_psi);
+        qmc_instrument::check_finite(qmc_instrument::CheckKind::LocalEnergy, w.e_local);
         self.psi.save_state(&mut w.buffer);
     }
 
@@ -134,6 +137,7 @@ impl<T: Real> QmcEngine<T> {
     pub fn refresh_from_scratch(&mut self) {
         let before = self.psi.log_value();
         let after = self.psi.evaluate_log(&mut self.pset);
+        qmc_instrument::check_finite(qmc_instrument::CheckKind::LogPsi, after);
         if before.is_finite() && after.is_finite() {
             qmc_instrument::record_refresh_drift((after - before).abs());
         }
@@ -195,24 +199,13 @@ impl<T: Real> QmcEngine<T> {
 
     fn measure_terms(&mut self, rng: &mut StdRng) -> LocalEnergy {
         let kinetic = kinetic_energy(&self.pset);
-        let ee = self
-            .ham
-            .ee
-            .as_ref()
-            .map(|c| c.evaluate(&self.pset))
-            .unwrap_or(0.0);
-        let ei = self
-            .ham
-            .ei
-            .as_ref()
-            .map(|c| c.evaluate(&self.pset))
-            .unwrap_or(0.0);
+        let ee = self.ham.ee.as_ref().map_or(0.0, |c| c.evaluate(&self.pset));
+        let ei = self.ham.ei.as_ref().map_or(0.0, |c| c.evaluate(&self.pset));
         let nlpp = self
             .ham
             .nlpp
             .as_ref()
-            .map(|c| c.evaluate(&mut self.pset, &mut self.psi, rng))
-            .unwrap_or(0.0);
+            .map_or(0.0, |c| c.evaluate(&mut self.pset, &mut self.psi, rng));
         LocalEnergy {
             kinetic,
             ee,

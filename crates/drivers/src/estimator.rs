@@ -3,6 +3,8 @@
 //! efficiency `kappa = 1/(sigma^2 tau_corr T_MC)`).
 
 /// Accumulates a weighted scalar time series in double precision.
+// qmclint: allow-file(precision-cast) — blocking/autocorrelation statistics run on f64
+// samples; block and sample counts convert exactly.
 #[derive(Clone, Debug, Default)]
 pub struct ScalarEstimator {
     samples: Vec<f64>,

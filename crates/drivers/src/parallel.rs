@@ -7,6 +7,8 @@
 //! worker's thread-local profile and merged, reproducing the paper's
 //! hot-spot accounting.
 
+// qmclint: allow-file(precision-cast) — thread/walker bookkeeping converts counts and
+// timings to f64 for the aggregated statistics only.
 use crate::branch::BranchController;
 use crate::dmc::{DmcParams, DmcResult};
 use crate::engine::QmcEngine;
@@ -77,6 +79,7 @@ pub fn parallel_generation<T: Real>(
                     acc += stats.accepted;
                     att += stats.attempted;
                     let el = engine.measure(&mut w.rng).total();
+                    qmc_instrument::check_finite(qmc_instrument::CheckKind::LocalEnergy, el);
                     let factor = branch.weight_factor(w.e_local, el);
                     w.weight *= factor;
                     w.age = if stats.accepted == 0 { w.age + 1 } else { 0 };

@@ -78,6 +78,7 @@ pub fn run_vmc<T: Real>(
                 if step % params.measure_every == 0 {
                     let el = engine.measure(&mut w.rng);
                     w.e_local = el.total();
+                    qmc_instrument::check_finite(qmc_instrument::CheckKind::LocalEnergy, w.e_local);
                     energy.push(w.e_local, 1.0);
                 }
             }
@@ -88,6 +89,7 @@ pub fn run_vmc<T: Real>(
     VmcResult {
         energy,
         acceptance: if attempted > 0 {
+            // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
             accepted as f64 / attempted as f64
         } else {
             0.0

@@ -20,6 +20,8 @@
 //! with `rho(k) = sum_i q_i exp(i k . r_i)` and the prime excluding the
 //! i = j, R = 0 self term.
 
+// qmclint: allow-file(precision-cast) — Ewald/Madelung lattice sums are conditionally
+// convergent and deliberately evaluated in f64 regardless of the walker precision T.
 use qmc_containers::{Pos, Real};
 use qmc_particles::{CrystalLattice, ParticleSet};
 

@@ -56,7 +56,7 @@ impl LocalEnergy {
 ///
 /// Requires `TrialWaveFunction::evaluate_log` to have filled `p.g`/`p.l`.
 pub fn kinetic_energy<T: Real>(p: &ParticleSet<T>) -> f64 {
-    let mut acc = 0.0f64;
+    let mut acc: f64 = 0.0;
     for i in 0..p.len() {
         acc += p.l[i] + p.g[i].norm2();
     }
@@ -78,7 +78,7 @@ impl CoulombEE {
     pub fn evaluate<T: Real>(&self, p: &ParticleSet<T>) -> f64 {
         time_kernel(Kernel::Coulomb, || {
             let n = p.len();
-            let mut acc = 0.0f64;
+            let mut acc: f64 = 0.0;
             match p.table(self.table) {
                 DistTable::AaRef(t) => {
                     for i in 0..n {
@@ -131,7 +131,7 @@ impl CoulombEI {
         time_kernel(Kernel::Coulomb, || {
             let n = p.len();
             let nion = self.ion_charges.len();
-            let mut acc = 0.0f64;
+            let mut acc: f64 = 0.0;
             match p.table(self.table) {
                 DistTable::AbRef(t) => {
                     for i in 0..n {
@@ -158,7 +158,7 @@ impl CoulombEI {
 /// Constant ion-ion Coulomb energy under minimum image.
 pub fn ion_ion_energy<T: Real>(ions: &ParticleSet<T>) -> f64 {
     let n = ions.len();
-    let mut acc = 0.0f64;
+    let mut acc: f64 = 0.0;
     for i in 0..n {
         for j in i + 1..n {
             let dr = ions.lattice.min_image(ions.pos(j) - ions.pos(i));

@@ -16,6 +16,8 @@
 //! Fig. 2). The quadrature grid is randomly rotated per evaluation to avoid
 //! angular bias, as in QMCPACK.
 
+// qmclint: allow-file(precision-cast) — quadrature-grid construction (Gauss weights,
+// spherical angles) is tabulated in f64 once at setup.
 use qmc_containers::{Pos, Real, TinyVector};
 use qmc_instrument::{time_kernel, Kernel};
 use qmc_particles::{DistTable, ParticleSet};
@@ -54,7 +56,7 @@ pub struct PseudoSpecies {
 /// The 12-vertex icosahedral quadrature grid (unit vectors, equal weights);
 /// integrates spherical harmonics exactly through `l = 5`.
 pub fn icosahedron_grid() -> Vec<Pos<f64>> {
-    let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
+    let phi = f64::midpoint(1.0, 5.0f64.sqrt());
     let norm = (1.0 + phi * phi).sqrt();
     let a = 1.0 / norm;
     let b = phi / norm;

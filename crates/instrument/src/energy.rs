@@ -75,7 +75,7 @@ impl EnergyModel {
         while t <= total {
             // Find the active phase at time t.
             let mut acc = 0.0;
-            let mut watts = self.phases.last().map(|p| p.watts).unwrap_or(0.0);
+            let mut watts = self.phases.last().map_or(0.0, |p| p.watts);
             for p in &self.phases {
                 if t < acc + p.seconds {
                     watts = p.watts;

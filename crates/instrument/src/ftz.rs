@@ -14,10 +14,15 @@
 pub fn enable_ftz() {
     #[cfg(target_arch = "x86_64")]
     unsafe {
+        // SAFETY: stmxcsr/ldmxcsr write to / read from a valid, aligned
+        // u32 on the stack and only toggle the FTZ/DAZ bits of the calling
+        // thread's MXCSR. Changing those bits alters rounding of
+        // subnormals (the whole point) but cannot violate memory safety,
+        // and the register is thread-local so no other thread observes it.
         let mut mxcsr: u32 = 0;
-        std::arch::asm!("stmxcsr [{}]", in(reg) &mut mxcsr, options(nostack));
+        std::arch::asm!("stmxcsr [{}]", in(reg) &raw mut mxcsr, options(nostack));
         mxcsr |= (1 << 15) | (1 << 6); // FTZ | DAZ
-        std::arch::asm!("ldmxcsr [{}]", in(reg) &mxcsr, options(nostack));
+        std::arch::asm!("ldmxcsr [{}]", in(reg) &raw const mxcsr, options(nostack));
     }
 }
 

@@ -27,6 +27,7 @@ pub mod json;
 pub mod memory;
 pub mod report;
 pub mod roofline;
+pub mod sanitize;
 pub mod span;
 pub mod timer;
 
@@ -37,6 +38,10 @@ pub use report::{
     record_refresh_drift, take_drift_stats, DriftStats, RunReport, RUN_REPORT_SCHEMA,
 };
 pub use roofline::{probe_machine, RooflineMachine};
+pub use sanitize::{
+    check_drift, check_finite, sanitizer_enabled, sanitizer_stats, set_drift_tolerance,
+    take_sanitizer_stats, CheckKind, SanitizerStats, ALL_CHECKS, NUM_CHECKS,
+};
 pub use span::{
     chrome_trace_json, enable_tracing, span, span_lazy, take_trace_events, tracing_enabled, Span,
     TraceEvent,

@@ -52,6 +52,10 @@ static DRIFT_MAX_BITS: AtomicU64 = AtomicU64::new(0); // f64 bits
 /// Records one from-scratch refresh's |Δ log ψ|. Called from the engines'
 /// recompute path on any thread; lock-free.
 pub fn record_refresh_drift(abs_delta: f64) {
+    // Sanitizer boundary: a from-scratch recompute is exactly where
+    // mixed-precision corruption becomes observable, so the drift-bound
+    // check lives here (no-op without the `checked` feature).
+    crate::sanitize::check_drift(abs_delta);
     if !abs_delta.is_finite() {
         return;
     }
@@ -126,6 +130,9 @@ pub struct RunReport {
     pub crowd_profiles: Vec<Profile>,
     /// Mixed-precision log ψ drift observed at from-scratch refreshes.
     pub drift: DriftStats,
+    /// Runtime invariant sanitizer counters (all zero unless the build
+    /// carries the `checked` feature).
+    pub sanitizer: crate::sanitize::SanitizerStats,
     /// Bytes per walker (positions + buffers), model-counted.
     pub walker_bytes: u64,
     /// Bytes for the shared engine state (spline table excluded).
@@ -219,6 +226,25 @@ impl RunReport {
         w.key("mean_abs_dlogpsi").f64_val(self.drift.mean_abs());
         w.key("max_abs_dlogpsi").f64_val(self.drift.max_abs);
         w.end_obj();
+        w.key("sanitizer");
+        w.begin_obj();
+        w.key("enabled")
+            .bool_val(crate::sanitize::sanitizer_enabled());
+        w.key("total_checks").u64_val(self.sanitizer.total_checks());
+        w.key("total_violations")
+            .u64_val(self.sanitizer.total_violations());
+        w.key("checks");
+        w.begin_obj();
+        for &k in &crate::sanitize::ALL_CHECKS {
+            w.key(k.label());
+            w.begin_obj();
+            w.key("run").u64_val(self.sanitizer.checks_run[k as usize]);
+            w.key("violations")
+                .u64_val(self.sanitizer.violations[k as usize]);
+            w.end_obj();
+        }
+        w.end_obj();
+        w.end_obj();
         w.key("memory");
         w.begin_obj();
         w.key("walker_bytes").u64_val(self.walker_bytes);
@@ -278,6 +304,14 @@ impl RunReport {
                 self.drift.refreshes
             );
         }
+        if self.sanitizer.total_checks() > 0 {
+            let _ = writeln!(
+                out,
+                "sanitizer: {} checks, {} violations",
+                self.sanitizer.total_checks(),
+                self.sanitizer.total_violations()
+            );
+        }
         out.push_str(&self.profile.to_table());
         out
     }
@@ -320,6 +354,7 @@ mod tests {
                 sum_abs: 2e-6,
                 max_abs: 1.5e-6,
             },
+            sanitizer: crate::sanitize::SanitizerStats::default(),
             walker_bytes: 1024,
             engine_bytes: 4096,
             table_bytes: 65536,
@@ -347,6 +382,15 @@ mod tests {
         assert_eq!(v.get("crowd_kernels").unwrap().as_arr().unwrap().len(), 2);
         let drift = v.get("mp_drift").unwrap();
         assert_eq!(drift.get("refreshes").unwrap().as_f64(), Some(2.0));
+        let san = v.get("sanitizer").unwrap();
+        assert_eq!(san.get("total_violations").unwrap().as_f64(), Some(0.0));
+        for k in crate::sanitize::ALL_CHECKS {
+            assert!(
+                san.get("checks").unwrap().get(k.label()).is_some(),
+                "sanitizer category {} missing from JSON",
+                k.label()
+            );
+        }
     }
 
     #[test]

@@ -49,7 +49,7 @@ fn fma_loop_f32(iters: usize) -> f32 {
     let a = 1.000_000_1f32;
     let b = 1e-9f32;
     for _ in 0..iters {
-        for x in acc.iter_mut() {
+        for x in &mut acc {
             *x = x.mul_add(a, b);
         }
     }
@@ -62,7 +62,7 @@ fn fma_loop_f64(iters: usize) -> f64 {
     let a = 1.000_000_000_1f64;
     let b = 1e-15f64;
     for _ in 0..iters {
-        for x in acc.iter_mut() {
+        for x in &mut acc {
             *x = x.mul_add(a, b);
         }
     }

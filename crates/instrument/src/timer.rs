@@ -160,7 +160,7 @@ impl Profile {
 
     /// Total timed seconds across all kernels.
     pub fn total_seconds(&self) -> f64 {
-        self.stats.iter().map(|s| s.seconds()).sum()
+        self.stats.iter().map(KernelStats::seconds).sum()
     }
 
     /// Normalized share of each kernel (sums to 1 when any time recorded).
@@ -201,12 +201,8 @@ impl Profile {
             };
             let ai = s
                 .arithmetic_intensity()
-                .map(|x| format!("{x:.2}"))
-                .unwrap_or_else(|| "-".into());
-            let gf = s
-                .gflops()
-                .map(|x| format!("{x:.2}"))
-                .unwrap_or_else(|| "-".into());
+                .map_or_else(|| "-".into(), |x| format!("{x:.2}"));
+            let gf = s.gflops().map_or_else(|| "-".into(), |x| format!("{x:.2}"));
             let _ = writeln!(
                 out,
                 "{:<14} {:>10.4} {:>10} {:>7.1}% {:>10} {:>10}",

@@ -22,7 +22,6 @@
 //! applies the same correction to all rows with three `m x N` GEMMs.
 
 use crate::blas::{axpy, dot};
-use crate::lu::LuFactor;
 use qmc_containers::{Matrix, Real};
 
 /// Inverse of a Slater matrix with delayed (Woodbury) row updates.
@@ -37,6 +36,128 @@ pub struct DelayedInverse<T: Real> {
     vs: Matrix<T>,
     /// Window Gram matrix `S[a][b] = dot(M.row(k_b), v_a)` in f64.
     s: Matrix<f64>,
+    /// Scratch RHS/solution for the per-ratio window solve (<= delay).
+    scratch_c: Vec<f64>,
+    /// Scratch copy of the Gram matrix consumed by the in-place solves.
+    scratch_s: Matrix<f64>,
+    /// Flush scratch: the `m x N` correction block `W` (overwritten by
+    /// `D = S^{-1} W` during the flush).
+    scratch_w: Matrix<f64>,
+    /// Flush scratch: copies of the replaced base rows.
+    scratch_k: Matrix<T>,
+}
+
+/// Solves `S x = y` in place (the solution overwrites `y`) using Gaussian
+/// elimination with partial pivoting on a scratch copy of the first
+/// `y.len()` rows/cols of `s`. Allocation-free: this sits on the per-ratio
+/// hot path of the delayed-update scheme.
+fn solve_gauss_vec(scratch: &mut Matrix<f64>, s: &Matrix<f64>, y: &mut [f64]) {
+    let m = y.len();
+    if m == 1 {
+        assert!(s[(0, 0)] != 0.0, "delayed-update window matrix singular");
+        y[0] /= s[(0, 0)];
+        return;
+    }
+    for a in 0..m {
+        for b in 0..m {
+            scratch[(a, b)] = s[(a, b)];
+        }
+    }
+    for p in 0..m {
+        let mut piv = p;
+        for i in p + 1..m {
+            if scratch[(i, p)].abs() > scratch[(piv, p)].abs() {
+                piv = i;
+            }
+        }
+        if piv != p {
+            for j in 0..m {
+                let t = scratch[(p, j)];
+                scratch[(p, j)] = scratch[(piv, j)];
+                scratch[(piv, j)] = t;
+            }
+            y.swap(p, piv);
+        }
+        let d = scratch[(p, p)];
+        assert!(d != 0.0, "delayed-update window matrix singular");
+        for i in p + 1..m {
+            let f = scratch[(i, p)] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for j in p + 1..m {
+                scratch[(i, j)] -= f * scratch[(p, j)];
+            }
+            y[i] -= f * y[p];
+        }
+    }
+    for p in (0..m).rev() {
+        let mut acc = y[p];
+        for q in p + 1..m {
+            acc -= scratch[(p, q)] * y[q];
+        }
+        y[p] = acc / scratch[(p, p)];
+    }
+}
+
+/// Solves `S X = B` in place over the first `m` rows of `b` (all `ncols`
+/// columns at once — the blocked flush-path variant of [`solve_gauss_vec`]).
+fn solve_gauss_block(
+    scratch: &mut Matrix<f64>,
+    s: &Matrix<f64>,
+    b: &mut Matrix<f64>,
+    m: usize,
+    ncols: usize,
+) {
+    for a in 0..m {
+        for q in 0..m {
+            scratch[(a, q)] = s[(a, q)];
+        }
+    }
+    for p in 0..m {
+        let mut piv = p;
+        for i in p + 1..m {
+            if scratch[(i, p)].abs() > scratch[(piv, p)].abs() {
+                piv = i;
+            }
+        }
+        if piv != p {
+            for j in 0..m {
+                let t = scratch[(p, j)];
+                scratch[(p, j)] = scratch[(piv, j)];
+                scratch[(piv, j)] = t;
+            }
+            for j in 0..ncols {
+                let t = b[(p, j)];
+                b[(p, j)] = b[(piv, j)];
+                b[(piv, j)] = t;
+            }
+        }
+        let d = scratch[(p, p)];
+        assert!(d != 0.0, "delayed-update window matrix singular");
+        for i in p + 1..m {
+            let f = scratch[(i, p)] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for j in p + 1..m {
+                scratch[(i, j)] -= f * scratch[(p, j)];
+            }
+            for j in 0..ncols {
+                b[(i, j)] -= f * b[(p, j)];
+            }
+        }
+    }
+    for p in (0..m).rev() {
+        let d = scratch[(p, p)];
+        for j in 0..ncols {
+            let mut acc = b[(p, j)];
+            for q in p + 1..m {
+                acc -= scratch[(p, q)] * b[(q, j)];
+            }
+            b[(p, j)] = acc / d;
+        }
+    }
 }
 
 impl<T: Real> DelayedInverse<T> {
@@ -52,6 +173,10 @@ impl<T: Real> DelayedInverse<T> {
             ks: Vec::with_capacity(delay),
             vs: Matrix::zeros(delay, n),
             s: Matrix::zeros(delay, delay),
+            scratch_c: vec![0.0; delay],
+            scratch_s: Matrix::zeros(delay, delay),
+            scratch_w: Matrix::zeros(delay, n),
+            scratch_k: Matrix::zeros(delay, n),
         }
     }
 
@@ -66,8 +191,9 @@ impl<T: Real> DelayedInverse<T> {
     }
 
     /// Computes row `r` of the *current* (virtually updated) transposed
-    /// inverse into `out`. `O(pending * N)`.
-    pub fn inv_row(&self, r: usize, out: &mut [T]) {
+    /// inverse into `out`. `O(pending * N)` and allocation-free: the window
+    /// solve runs on preallocated scratch.
+    pub fn inv_row(&mut self, r: usize, out: &mut [T]) {
         let n = self.n();
         assert_eq!(out.len(), n);
         out.copy_from_slice(self.minv_t.row(r));
@@ -75,23 +201,25 @@ impl<T: Real> DelayedInverse<T> {
         if m == 0 {
             return;
         }
-        let mut c = vec![0.0f64; m];
+        let mut c = std::mem::take(&mut self.scratch_c);
+        c.resize(m, 0.0);
         for (a, ca) in c.iter_mut().enumerate() {
             *ca = dot(self.minv_t.row(r), self.vs.row(a)).to_f64();
             if self.ks[a] == r {
                 *ca -= 1.0;
             }
         }
-        let y = self.solve_window(&c);
-        for (a, &ya) in y.iter().enumerate() {
+        solve_gauss_vec(&mut self.scratch_s, &self.s, &mut c);
+        for (a, &ya) in c.iter().enumerate() {
             axpy(T::from_f64(-ya), self.minv_t.row(self.ks[a]), out);
         }
+        self.scratch_c = c;
     }
 
     /// Determinant ratio for replacing row `r` with `v`, against the current
     /// virtually updated inverse. Also returns the inverse row so callers
     /// can compute gradient ratios without a second correction pass.
-    pub fn ratio_with_inv_row(&self, r: usize, v: &[T], inv_row: &mut [T]) -> T {
+    pub fn ratio_with_inv_row(&mut self, r: usize, v: &[T], inv_row: &mut [T]) -> T {
         self.inv_row(r, inv_row);
         dot(inv_row, v)
     }
@@ -112,6 +240,9 @@ impl<T: Real> DelayedInverse<T> {
         }
         self.s[(m, m)] = dot(self.minv_t.row(r), v).to_f64();
         self.vs.row_mut(m).copy_from_slice(v);
+        // qmclint: allow(hot-path) — push into a with_capacity(delay)
+        // buffer; the flush above guarantees the window has room, so this
+        // never reallocates.
         self.ks.push(r);
         if self.ks.len() == self.delay {
             self.flush();
@@ -119,57 +250,54 @@ impl<T: Real> DelayedInverse<T> {
     }
 
     /// Applies all pending updates to the base inverse with blocked
-    /// (GEMM-shaped) arithmetic and clears the window.
+    /// (GEMM-shaped) arithmetic and clears the window. Runs entirely on
+    /// preallocated scratch.
     pub fn flush(&mut self) {
         let m = self.ks.len();
         if m == 0 {
             return;
         }
         let n = self.n();
+        let Self {
+            minv_t,
+            ks,
+            vs,
+            s,
+            scratch_s,
+            scratch_w,
+            scratch_k,
+            ..
+        } = self;
 
         // W[a][j] = dot(M.row(j), v_a) - [k_a == j]   (m x N)
-        let mut w = Matrix::<f64>::zeros(m, n);
         for a in 0..m {
-            let va = self.vs.row(a);
-            let wa = w.row_mut(a);
+            let va = vs.row(a);
+            let wa = scratch_w.row_mut(a);
             for j in 0..n {
-                wa[j] = dot(self.minv_t.row(j), va).to_f64();
+                wa[j] = dot(minv_t.row(j), va).to_f64();
             }
-            wa[self.ks[a]] -= 1.0;
+            wa[ks[a]] -= 1.0;
         }
 
-        // D = S^{-1} W  (m x N), solved column-block-wise via LU of S.
-        let s_small = Matrix::from_fn(m, m, |a, b| self.s[(a, b)]);
-        let lu = LuFactor::new(&s_small).expect("delayed-update window matrix singular");
-        let mut d = Matrix::<f64>::zeros(m, n);
-        let mut col = vec![0.0f64; m];
-        for j in 0..n {
-            for a in 0..m {
-                col[a] = w[(a, j)];
-            }
-            lu.solve_in_place(&mut col);
-            for a in 0..m {
-                d[(a, j)] = col[a];
-            }
-        }
+        // D = S^{-1} W  (m x N), solved as one block; D overwrites W.
+        solve_gauss_block(scratch_s, s, scratch_w, m, n);
 
         // K[a] = copy of base M.row(k_a) before modification.
-        let mut k = Matrix::<T>::zeros(m, n);
         for a in 0..m {
-            k.row_mut(a).copy_from_slice(self.minv_t.row(self.ks[a]));
+            scratch_k.row_mut(a).copy_from_slice(minv_t.row(ks[a]));
         }
 
         // M.row(j) -= sum_a D[a][j] * K[a]
         for j in 0..n {
-            let row = self.minv_t.row_mut(j);
+            let row = minv_t.row_mut(j);
             for a in 0..m {
-                // Split borrow: `k` and `minv_t` are distinct matrices.
-                let coeff = T::from_f64(-d[(a, j)]);
-                axpy(coeff, k.row(a), row);
+                // Split borrow: `scratch_k` and `minv_t` are distinct.
+                let coeff = T::from_f64(-scratch_w[(a, j)]);
+                axpy(coeff, scratch_k.row(a), row);
             }
         }
 
-        self.ks.clear();
+        ks.clear();
     }
 
     /// Flushed transposed inverse. Panics if updates are pending; call
@@ -185,18 +313,6 @@ impl<T: Real> DelayedInverse<T> {
         assert_eq!(minv_t.rows(), self.n());
         self.minv_t = minv_t;
         self.ks.clear();
-    }
-
-    fn solve_window(&self, c: &[f64]) -> Vec<f64> {
-        let m = c.len();
-        if m == 1 {
-            return vec![c[0] / self.s[(0, 0)]];
-        }
-        let s_small = Matrix::from_fn(m, m, |a, b| self.s[(a, b)]);
-        let lu = LuFactor::new(&s_small).expect("delayed-update window matrix singular");
-        let mut y = c.to_vec();
-        lu.solve_in_place(&mut y);
-        y
     }
 }
 

@@ -34,7 +34,7 @@ impl<T: Real> LuFactor<T> {
         let n = a.rows();
         let mut lu = a.clone();
         let mut piv: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0f64;
+        let mut perm_sign: f64 = 1.0;
 
         for k in 0..n {
             // Pivot search on column k.
@@ -77,7 +77,7 @@ impl<T: Real> LuFactor<T> {
 
     /// `(log|det A|, sign(det A))`, accumulated in `f64`.
     pub fn log_abs_det(&self) -> (f64, f64) {
-        let mut log = 0.0f64;
+        let mut log: f64 = 0.0;
         let mut sign = self.perm_sign;
         for k in 0..self.n() {
             let d = self.lu[(k, k)].to_f64();
@@ -91,6 +91,8 @@ impl<T: Real> LuFactor<T> {
 
     /// Solves `A x = b` in place; `b` enters as the right-hand side and
     /// leaves as the solution.
+    // qmclint: cold — LU solves run on the from-scratch recompute path
+    // (O(N^3) factorization dominates), never per accepted move.
     pub fn solve_in_place(&self, b: &mut [T]) {
         let n = self.n();
         assert_eq!(b.len(), n);
@@ -116,6 +118,8 @@ impl<T: Real> LuFactor<T> {
     }
 
     /// Dense inverse of the factorized matrix.
+    // qmclint: cold — dense inversion is the periodic from-scratch
+    // recompute, amortized over the recompute interval.
     pub fn inverse(&self) -> Matrix<T> {
         let n = self.n();
         let mut inv = Matrix::zeros(n, n);

@@ -29,17 +29,16 @@ pub fn det_ratio_row<T: Real>(minv_t: &Matrix<T>, k: usize, v: &[T]) -> T {
 pub fn sherman_morrison_update<T: Real>(minv_t: &mut Matrix<T>, k: usize, v: &[T], ratio: T) {
     let n = minv_t.rows();
     debug_assert_eq!(v.len(), n);
-    // w = M v
-    let mut w = vec![T::ZERO; n];
-    for (j, wj) in w.iter_mut().enumerate() {
-        *wj = dot(minv_t.row(j), v);
-    }
     let inv_ratio = T::ONE / ratio;
+    // Allocation-free: each w[j] = dot(M.row(j), v) is consumed immediately
+    // after it is produced. Row j is only read before its own update and
+    // row k stays untouched until the final scaling, so this is arithmetic-
+    // identical to materializing w = M v up front.
     for j in 0..n {
         if j == k {
             continue;
         }
-        let c = -w[j] * inv_ratio;
+        let c = -dot(minv_t.row(j), v) * inv_ratio;
         let (rk, rj) = minv_t.two_rows_mut(k, j);
         axpy(c, rk, rj);
     }

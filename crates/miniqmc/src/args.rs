@@ -57,7 +57,7 @@ impl Options {
 
     /// Raw string value of `key`.
     pub fn get_str(&self, key: &str) -> Option<&str> {
-        self.values.get(key).map(|s| s.as_str())
+        self.values.get(key).map(std::string::String::as_str)
     }
 
     /// True when the bare flag was given.
@@ -72,7 +72,8 @@ mod tests {
 
     fn parse(args: &[&str]) -> Options {
         Options::parse(
-            std::iter::once("prog".to_string()).chain(args.iter().map(|s| s.to_string())),
+            std::iter::once("prog".to_string())
+                .chain(args.iter().map(std::string::ToString::to_string)),
         )
     }
 

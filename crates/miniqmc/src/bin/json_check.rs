@@ -23,6 +23,18 @@ fn main() {
             // A run report must at least carry its schema tag; plain JSON
             // from other producers (e.g. Chrome traces) just passes.
             if let Some(schema) = v.get("schema").and_then(|s| s.as_str()) {
+                // Gate on the runtime sanitizer: a `checked` build that
+                // observed non-finite accumulator values or out-of-bound
+                // drift must fail CI, not just note it in the report.
+                let violations = v
+                    .get("sanitizer")
+                    .and_then(|s| s.get("total_violations"))
+                    .and_then(qmc_instrument::json::JsonValue::as_f64)
+                    .unwrap_or(0.0);
+                if violations > 0.0 {
+                    eprintln!("json_check: sanitizer reported {violations} invariant violation(s)");
+                    std::process::exit(1);
+                }
                 println!("json_check: ok (schema {schema})");
             } else {
                 println!("json_check: ok");

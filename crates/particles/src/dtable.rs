@@ -247,7 +247,7 @@ impl<T: Real> DistTableAASoA<T> {
         let stride = dist.stride();
         for i in 0..n {
             let row = dist.row_padded_mut(i);
-            for x in row[n..stride].iter_mut() {
+            for x in &mut row[n..stride] {
                 *x = T::from_f64(f64::MAX);
             }
         }
@@ -415,7 +415,12 @@ impl<T: Real> DistTableAASoA<T> {
 
     /// Bytes of storage (for the memory ledger).
     pub fn bytes(&self) -> usize {
-        self.dist.bytes() + self.disp.iter().map(|m| m.bytes()).sum::<usize>()
+        self.dist.bytes()
+            + self
+                .disp
+                .iter()
+                .map(qmc_containers::Matrix::bytes)
+                .sum::<usize>()
     }
 }
 
@@ -484,7 +489,12 @@ impl<T: Real> MwRowStage<T> {
 
     /// Bytes of staging storage (memory ledger).
     pub fn bytes(&self) -> usize {
-        (self.dist.len() + self.disp.iter().map(|d| d.len()).sum::<usize>())
+        (self.dist.len()
+            + self
+                .disp
+                .iter()
+                .map(qmc_containers::AlignedVec::len)
+                .sum::<usize>())
             * std::mem::size_of::<T>()
     }
 }
@@ -586,6 +596,8 @@ impl<T: Real> DistTableABRef<T> {
     }
 
     /// The fixed ion (source) positions this table was built against.
+    // qmclint: cold — setup-time accessor used when wiring the Hamiltonian
+    // to its ion set, not called inside the Monte Carlo loop.
     pub fn source_positions(&self) -> Vec<Pos<T>> {
         self.ions.clone()
     }
@@ -689,7 +701,7 @@ impl<T: Real> DistTableABSoA<T> {
         let stride = dist.stride();
         for i in 0..nel {
             let row = dist.row_padded_mut(i);
-            for x in row[nion..stride].iter_mut() {
+            for x in &mut row[nion..stride] {
                 *x = T::from_f64(f64::MAX);
             }
         }
@@ -725,6 +737,8 @@ impl<T: Real> DistTableABSoA<T> {
 
     /// The fixed ion (source) positions this table was built against
     /// (reconstructed from the SoA copy).
+    // qmclint: cold — setup-time accessor used when wiring the Hamiltonian
+    // to its ion set, not called inside the Monte Carlo loop.
     pub fn source_positions(&self) -> Vec<Pos<T>> {
         (0..self.nion).map(|a| self.ions_soa.get(a)).collect()
     }
@@ -829,7 +843,11 @@ impl<T: Real> DistTableABSoA<T> {
     /// Bytes of storage.
     pub fn bytes(&self) -> usize {
         self.dist.bytes()
-            + self.disp.iter().map(|m| m.bytes()).sum::<usize>()
+            + self
+                .disp
+                .iter()
+                .map(qmc_containers::Matrix::bytes)
+                .sum::<usize>()
             + self.ions_soa.bytes()
     }
 }
@@ -1081,7 +1099,7 @@ mod tests {
         let lat32: CrystalLattice<f32> = lat64.cast();
         let n = 8;
         let r = positions(n, l, 17);
-        let r32: Vec<Pos<f32>> = r.iter().map(|p| p.cast()).collect();
+        let r32: Vec<Pos<f32>> = r.iter().map(qmc_containers::TinyVector::cast).collect();
         let rsoa = soa_of(&r);
         let mut rsoa32 = VectorSoaContainer::<f32, 3>::new(n);
         rsoa32.copy_from_aos(&r32);

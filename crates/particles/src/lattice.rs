@@ -246,16 +246,15 @@ impl<T: Real> CrystalLattice<T> {
         for i in -1i32..=1 {
             for j in -1i32..=1 {
                 for k in -1i32..=1 {
+                    let (fi, fj, fk) = (
+                        T::from_f64(f64::from(i)),
+                        T::from_f64(f64::from(j)),
+                        T::from_f64(f64::from(k)),
+                    );
                     let shift = TinyVector([
-                        T::from_f64(i as f64) * self.a[0][0]
-                            + T::from_f64(j as f64) * self.a[1][0]
-                            + T::from_f64(k as f64) * self.a[2][0],
-                        T::from_f64(i as f64) * self.a[0][1]
-                            + T::from_f64(j as f64) * self.a[1][1]
-                            + T::from_f64(k as f64) * self.a[2][1],
-                        T::from_f64(i as f64) * self.a[0][2]
-                            + T::from_f64(j as f64) * self.a[1][2]
-                            + T::from_f64(k as f64) * self.a[2][2],
+                        fi * self.a[0][0] + fj * self.a[1][0] + fk * self.a[2][0],
+                        fi * self.a[0][1] + fj * self.a[1][1] + fk * self.a[2][1],
+                        fi * self.a[0][2] + fj * self.a[1][2] + fk * self.a[2][2],
                     ]);
                     let cand = base + shift;
                     let d = cand.norm2();

@@ -308,7 +308,7 @@ impl<T: Real> ParticleSet<T> {
     pub fn accept_move(&mut self, iat: usize) {
         let (act, newpos) = self.active.take().expect("no active move");
         assert_eq!(act, iat, "accept_move for a different particle");
-        for t in self.tables.iter_mut() {
+        for t in &mut self.tables {
             match t {
                 DistTable::AaRef(t) => t.accept(iat),
                 DistTable::AaSoa(t) => t.accept(iat),
@@ -342,7 +342,7 @@ impl<T: Real> ParticleSet<T> {
     pub fn bytes(&self) -> usize {
         self.r.len() * std::mem::size_of::<Pos<T>>()
             + self.rsoa.bytes()
-            + self.tables.iter().map(|t| t.bytes()).sum::<usize>()
+            + self.tables.iter().map(DistTable::bytes).sum::<usize>()
     }
 
     /// Clones the set *structure* (species, lattice, tables) with the same

@@ -1,0 +1,149 @@
+//! In-source project configuration: which files play which role.
+//!
+//! There is deliberately no `qmclint.toml` — the file classification is
+//! part of the linter itself so that changing the set of mixed-precision
+//! or kernel modules is a reviewed code change, not a config drive-by.
+//! Paths are matched repo-relative with forward slashes.
+
+/// How a file is treated by the rules.
+// Not a state machine: the flags are orthogonal classification facts and
+// every combination is meaningful (e.g. kernel + physics + mixed).
+#[allow(clippy::struct_excessive_bools)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FileClass {
+    /// Skipped entirely (tests, benches, binaries, vendored shims, ...).
+    pub exempt: bool,
+    /// Designated mixed-precision module: raw `f32`/`f64` casts are legal.
+    pub mixed_precision: bool,
+    /// Hot kernel module: the hot-path and timer rules apply.
+    pub kernel: bool,
+    /// Physics crate: the determinism rule applies.
+    pub physics: bool,
+}
+
+/// Paths (prefixes or substrings) that are never linted.
+///
+/// * `shims/` — vendored minimal API stubs for offline builds, not ours.
+/// * test / bench / example / bin targets — CLI front-ends and test code
+///   are allowed to allocate, unwrap and cast freely.
+/// * `crates/qmclint/` — the linter itself (its fixtures are deliberate
+///   violations; its sources are full of rule-name strings).
+const EXEMPT_MARKERS: [&str; 8] = [
+    "shims/",
+    "/tests/",
+    "/benches/",
+    "/examples/",
+    "/src/bin/",
+    "crates/qmclint/",
+    "crates/bench/",
+    "target/",
+];
+
+/// Top-level (workspace-root) directories that are exempt as a whole.
+const EXEMPT_PREFIXES: [&str; 2] = ["tests/", "examples/"];
+
+/// Designated mixed-precision modules (ISSUE rule 1): the only places a
+/// raw `as f32`/`as f64` cast or suffixed float literal is legal without a
+/// justification. Everything else must go through the `Real` trait
+/// boundary (`T::from_f64` / `.to_f64()`) or carry an allow marker.
+const MIXED_PRECISION: [&str; 3] = [
+    "crates/containers/src/real.rs",
+    "crates/bspline/src/",
+    "crates/wavefunction/src/buffer.rs",
+];
+
+/// Hot kernel modules (ISSUE rule 2/4): distance tables, B-splines,
+/// Jastrow factors, SPO/determinant kernels and the batched `mw_*` APIs.
+const KERNEL_MODULES: [&str; 6] = [
+    "crates/particles/src/dtable.rs",
+    "crates/bspline/src/",
+    "crates/wavefunction/src/jastrow/",
+    "crates/wavefunction/src/spo.rs",
+    "crates/wavefunction/src/batched.rs",
+    "crates/linalg/src/",
+];
+
+/// Physics crates (ISSUE rule 5): anything whose results enter the Monte
+/// Carlo estimate. Observability (`instrument`), front-ends (`miniqmc`)
+/// and the bench harness are excluded — wall-clock time there is fine.
+const PHYSICS_CRATES: [&str; 10] = [
+    "crates/core/",
+    "crates/containers/",
+    "crates/linalg/",
+    "crates/bspline/",
+    "crates/particles/",
+    "crates/wavefunction/",
+    "crates/hamiltonian/",
+    "crates/drivers/",
+    "crates/crowd/",
+    "crates/workloads/",
+];
+
+/// Classifies a repo-relative path (forward slashes).
+pub fn classify(path: &str) -> FileClass {
+    let p = path.trim_start_matches("./");
+    if EXEMPT_MARKERS.iter().any(|m| p.contains(m))
+        || EXEMPT_PREFIXES.iter().any(|m| p.starts_with(m))
+    {
+        return FileClass {
+            exempt: true,
+            ..FileClass::default()
+        };
+    }
+    FileClass {
+        exempt: false,
+        mixed_precision: MIXED_PRECISION.iter().any(|m| p.starts_with(m)),
+        kernel: KERNEL_MODULES.iter().any(|m| p.starts_with(m)),
+        physics: PHYSICS_CRATES.iter().any(|m| p.starts_with(m)),
+    }
+}
+
+/// Function names exempt from the hot-path rule: constructors and other
+/// setup/conversion entry points that legitimately allocate. Hot functions
+/// that must allocate for a good reason use a `// qmclint: cold — <why>`
+/// marker instead.
+pub fn is_cold_fn_name(name: &str) -> bool {
+    matches!(
+        name,
+        "new" | "default" | "random" | "zeros" | "from_fn" | "clone" | "convert" | "bytes"
+    ) || name.starts_with("from_")
+        || name.starts_with("with_")
+        || name.starts_with("build")
+        || name.starts_with("set_")
+        || name.starts_with("clone_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_examples() {
+        assert!(classify("shims/rand/src/lib.rs").exempt);
+        assert!(classify("crates/drivers/tests/physics.rs").exempt);
+        assert!(classify("crates/miniqmc/src/bin/miniqmc.rs").exempt);
+        assert!(classify("tests/determinism.rs").exempt);
+        assert!(classify("crates/qmclint/src/rules.rs").exempt);
+
+        let spline = classify("crates/bspline/src/spline3d.rs");
+        assert!(spline.mixed_precision && spline.kernel && spline.physics);
+
+        let dtable = classify("crates/particles/src/dtable.rs");
+        assert!(dtable.kernel && dtable.physics && !dtable.mixed_precision);
+
+        let report = classify("crates/instrument/src/report.rs");
+        assert!(!report.physics && !report.kernel && !report.exempt);
+
+        let estimator = classify("crates/drivers/src/estimator.rs");
+        assert!(estimator.physics && !estimator.kernel);
+    }
+
+    #[test]
+    fn cold_names() {
+        assert!(is_cold_fn_name("new"));
+        assert!(is_cold_fn_name("from_coefficients"));
+        assert!(is_cold_fn_name("set_control_points"));
+        assert!(!is_cold_fn_name("evaluate_vgl"));
+        assert!(!is_cold_fn_name("mw_evaluate_vgl"));
+    }
+}

@@ -1,0 +1,104 @@
+//! # qmclint — QMC project-invariant analyzer
+//!
+//! The paper's three riskiest transformations — mixed precision (§7.2),
+//! forward-update distance tables and compute-on-the-fly Jastrow factors —
+//! trade stored state for recomputation and narrower types, so their
+//! correctness rests on invariants the type system cannot see: where
+//! `f32↔f64` casts are allowed, which paths must stay allocation- and
+//! panic-free, and which kernels must feed the timer taxonomy the run
+//! report is built from. `qmclint` enforces those invariants mechanically:
+//!
+//! 1. **precision-cast** — raw `as f32`/`as f64` casts and suffixed float
+//!    literals in physics crates are only legal in designated
+//!    mixed-precision modules.
+//! 2. **hot-path** — kernel functions must not allocate or panic.
+//! 3. **unsafe-comment** — every `unsafe` carries a `// SAFETY:` comment.
+//! 4. **timer-coverage** — `mw_*` entry points are timed, and every
+//!    `Kernel` variant is referenced by some instrumentation site.
+//! 5. **determinism** — no wall clocks, OS entropy, or hash-map iteration
+//!    in physics crates.
+//!
+//! Dependency-free by necessity (the registry is unreachable): the lexer
+//! is hand-rolled, and the configuration lives in [`config`] rather than a
+//! toml file. Exceptions are justified in-source via
+//! `// qmclint: allow(<rule>) — <reason>` markers; a marker without a
+//! reason is itself a diagnostic.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::{classify, FileClass};
+pub use diag::{render_json, Diagnostic, Rule, ALL_RULES};
+pub use rules::{check_kernel_coverage, lint_source, KernelUsage};
+
+/// Result of linting a whole workspace tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (file, line).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files actually scanned (exempt files excluded).
+    pub files_scanned: usize,
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | ".git" | "node_modules") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints every non-exempt `.rs` file under `root` (the repo checkout) and
+/// runs the workspace-level kernel-coverage cross-check.
+pub fn lint_workspace(root: &Path) -> LintReport {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files);
+
+    let mut report = LintReport::default();
+    let mut usage = KernelUsage::default();
+    let mut timer: Option<(String, String)> = None;
+
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let class = classify(&rel);
+        if class.exempt {
+            continue;
+        }
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        if rel == "crates/instrument/src/timer.rs" {
+            timer = Some((rel.clone(), src.clone()));
+        }
+        report.files_scanned += 1;
+        lint_source(&rel, &src, class, &mut report.diagnostics, &mut usage);
+    }
+
+    if let Some((rel, src)) = &timer {
+        check_kernel_coverage(rel, src, &usage, &mut report.diagnostics);
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}

@@ -1,0 +1,170 @@
+//! Fixture-corpus integration tests.
+//!
+//! Each `.rs` file under `tests/fixtures/` declares its synthetic path
+//! class on the first line (`// fixture-class: kernel,physics,...`) and
+//! marks expected findings with trailing `//~ <rule-id>` comments (or
+//! `//~v <rule-id>` on the line *above* the expected one, for lines that
+//! cannot carry a trailing comment, such as qmclint markers themselves).
+//!
+//! The harness asserts the diagnostic set matches the expectations
+//! *exactly* — rule and line — in both directions: nothing missing,
+//! nothing extra. `fixtures/clean/` files must produce no diagnostics
+//! at all.
+
+use qmclint::{lint_source, Diagnostic, FileClass, KernelUsage, Rule};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind)
+}
+
+fn fixture_files(kind: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(fixture_dir(kind))
+        .expect("fixture directory exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no fixtures under tests/fixtures/{kind}");
+    files
+}
+
+/// Parses the `// fixture-class:` header into a synthetic [`FileClass`].
+fn parse_class(src: &str, path: &Path) -> FileClass {
+    let header = src
+        .lines()
+        .next()
+        .and_then(|l| l.split_once("fixture-class:"))
+        .unwrap_or_else(|| panic!("{} missing `// fixture-class:` header", path.display()))
+        .1;
+    let mut class = FileClass {
+        exempt: false,
+        mixed_precision: false,
+        kernel: false,
+        physics: false,
+    };
+    for flag in header.split(',').map(str::trim) {
+        match flag {
+            "kernel" => class.kernel = true,
+            "physics" => class.physics = true,
+            "mixed" => class.mixed_precision = true,
+            "plain" => {}
+            other => panic!("{}: unknown fixture-class flag `{other}`", path.display()),
+        }
+    }
+    class
+}
+
+/// Collects `(line, rule)` expectations from `//~` / `//~v` comments.
+fn parse_expectations(src: &str, path: &Path) -> Vec<(u32, Rule)> {
+    let mut expected = Vec::new();
+    for (idx, line) in src.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let Some(pos) = line.find("//~") else {
+            continue;
+        };
+        let rest = &line[pos + 3..];
+        let (target, rest) = match rest.strip_prefix('v') {
+            Some(r) => (lineno + 1, r),
+            None => (lineno, rest),
+        };
+        let id = rest
+            .trim()
+            .split(|c: char| c.is_whitespace() || c == '(')
+            .next()
+            .unwrap_or("");
+        // `bad-marker` is deliberately absent from `Rule::from_id` (it can
+        // never appear in an allow list), so map it by hand here.
+        let rule = if id == "bad-marker" {
+            Rule::BadMarker
+        } else {
+            Rule::from_id(id).unwrap_or_else(|| {
+                panic!(
+                    "{}:{lineno}: unknown rule `{id}` in expectation",
+                    path.display()
+                )
+            })
+        };
+        expected.push((target, rule));
+    }
+    expected
+}
+
+fn lint_fixture(path: &Path) -> (Vec<Diagnostic>, Vec<(u32, Rule)>) {
+    let src = std::fs::read_to_string(path).expect("fixture readable");
+    let class = parse_class(&src, path);
+    let expected = parse_expectations(&src, path);
+    let rel = format!("fixtures/{}", path.file_name().unwrap().to_string_lossy());
+    let mut diags = Vec::new();
+    let mut usage = KernelUsage::default();
+    lint_source(&rel, &src, class, &mut diags, &mut usage);
+    (diags, expected)
+}
+
+#[test]
+fn violation_fixtures_report_exact_lines() {
+    for path in fixture_files("violations") {
+        let (diags, mut expected) = lint_fixture(&path);
+        assert!(
+            !expected.is_empty(),
+            "{path:?}: violation fixture declares no `//~` expectations"
+        );
+        let mut got: Vec<(u32, Rule)> = diags.iter().map(|d| (d.line, d.rule)).collect();
+        got.sort();
+        expected.sort();
+        assert_eq!(
+            got, expected,
+            "{path:?}: diagnostics do not match `//~` expectations.\nactual: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixtures_are_silent() {
+    for path in fixture_files("clean") {
+        let (diags, expected) = lint_fixture(&path);
+        assert!(
+            expected.is_empty(),
+            "{path:?}: clean fixtures must not declare expectations"
+        );
+        assert!(
+            diags.is_empty(),
+            "{path:?}: clean fixture produced diagnostics: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn every_rule_family_has_a_violation_fixture() {
+    let mut seen = Vec::new();
+    for path in fixture_files("violations") {
+        let (_, expected) = lint_fixture(&path);
+        seen.extend(expected.into_iter().map(|(_, r)| r));
+    }
+    for rule in qmclint::ALL_RULES {
+        assert!(
+            seen.contains(&rule),
+            "no violation fixture exercises rule `{}`",
+            rule.id()
+        );
+    }
+    assert!(
+        seen.contains(&Rule::BadMarker),
+        "no violation fixture exercises the marker grammar"
+    );
+}
+
+#[test]
+fn kernel_coverage_cross_check_flags_dead_variants() {
+    let timer = "pub enum Kernel {\n    DetUpdate,\n    J2,\n    Other,\n}\n";
+    let mut usage = KernelUsage::default();
+    usage.referenced.push("DetUpdate".into());
+    let mut diags = Vec::new();
+    qmclint::check_kernel_coverage("timer.rs", timer, &usage, &mut diags);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].line, 3);
+    assert!(diags[0].message.contains("Kernel::J2"));
+}

@@ -1,0 +1,28 @@
+// fixture-class: kernel,physics
+// Every deviation below carries a justified marker, so the file lints
+// clean: line allows, a multi-line continuation allow, a whole-file allow,
+// and a cold fn marker.
+
+// qmclint: allow-file(determinism) — fixture exercising file-scope
+// suppression; the map never reaches physics results.
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, f64>, k: u32) -> f64 {
+    m.get(&k).copied().unwrap_or(0.0)
+}
+
+pub fn narrow(x: f64) -> f32 {
+    // qmclint: allow(precision-cast) — fixture: the cast is intentional
+    x as f32
+}
+
+pub fn staged(xs: &[f64]) -> Vec<f64> {
+    // qmclint: allow(hot-path) — fixture: the justification for this one
+    // wraps across a second comment line before the code it covers.
+    xs.to_vec()
+}
+
+// qmclint: cold — table construction at setup, not a per-step kernel.
+pub fn build_table(n: usize) -> Vec<f64> {
+    (0..n).map(|i| f64::from(i as u32)).collect()
+}

@@ -1,0 +1,16 @@
+// fixture-class: physics,mixed
+// A designated mixed-precision module: raw casts and suffixed literals are
+// the whole point here (the paper's f64-accumulate / f32-evaluate split),
+// so the precision rule stays silent.
+
+pub fn narrow(x: f64) -> f32 {
+    x as f32
+}
+
+pub fn widen(x: f32) -> f64 {
+    x as f64
+}
+
+pub fn epsilon_split() -> (f32, f64) {
+    (1.0e-6f32, 1.0e-12f64)
+}

@@ -1,0 +1,21 @@
+// fixture-class: kernel,physics
+// Everything inside a `#[cfg(test)]` item is masked: tests may allocate,
+// unwrap, and cast freely without tripping any rule.
+
+pub fn kernel_body(xs: &mut [f64]) {
+    for x in xs.iter_mut() {
+        *x += 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_allocates_and_casts() {
+        let mut v: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        kernel_body(&mut v);
+        assert!((v.first().unwrap() - 1.0f64).abs() < 1e-12);
+    }
+}

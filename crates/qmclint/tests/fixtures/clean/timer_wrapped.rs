@@ -1,0 +1,34 @@
+// fixture-class: kernel,physics
+// The three ways an `mw_*` entry point satisfies timer coverage: wrapping
+// its body in a `Kernel::*` timer, visibly delegating to another `mw_*`
+// kernel, or carrying a justified allow marker.
+
+pub struct Engine {
+    inner: Inner,
+}
+
+pub struct Inner;
+
+impl Inner {
+    pub fn mw_evaluate_impl(&mut self, n: usize) -> f64 {
+        time_kernel(Kernel::J2, || {
+            let mut acc = 0.0;
+            for _ in 0..n {
+                acc += 1.0;
+            }
+            acc
+        })
+    }
+}
+
+impl Engine {
+    pub fn mw_evaluate(&mut self, n: usize) -> f64 {
+        self.inner.mw_evaluate_impl(n)
+    }
+
+    // qmclint: allow(timer-coverage) — fixture: fans out to per-component
+    // methods that are each timed under their own Kernel category.
+    pub fn mw_fan_out(&mut self, n: usize) -> usize {
+        n
+    }
+}

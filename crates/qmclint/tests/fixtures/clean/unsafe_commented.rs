@@ -1,0 +1,15 @@
+// fixture-class: plain
+// Both accepted placements of the safety comment: directly above the
+// unsafe keyword, and as the first line inside the block.
+
+pub fn read_above(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points to a live, aligned byte.
+    unsafe { *p }
+}
+
+pub fn read_inside(p: *const u8) -> u8 {
+    unsafe {
+        // SAFETY: caller guarantees `p` points to a live, aligned byte.
+        *p
+    }
+}

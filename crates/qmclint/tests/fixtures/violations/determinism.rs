@@ -1,0 +1,14 @@
+// fixture-class: physics
+// Wall clocks, OS entropy, and hash-map iteration in a physics crate.
+
+use std::collections::HashMap; //~ determinism
+use std::collections::HashSet; //~ determinism
+
+pub fn stamp() -> std::time::SystemTime { //~ determinism
+    unreachable!()
+}
+
+pub fn sample() -> f64 {
+    let mut rng = thread_rng(); //~ determinism
+    rng.random()
+}

@@ -1,0 +1,39 @@
+// fixture-class: kernel,physics
+// Allocation and panic paths inside a hot kernel module. The fn names are
+// deliberately not construction-shaped, so no cold-by-name exemption fires.
+
+pub fn accumulate(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new(); //~ hot-path
+    for &x in xs {
+        out.push(x * x); //~ hot-path
+    }
+    out
+}
+
+pub fn gather(xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|x| x + 1.0).collect() //~ hot-path
+}
+
+pub fn duplicate(xs: &Vec<f64>) -> Vec<f64> {
+    xs.clone() //~ hot-path
+}
+
+pub fn label(i: usize) -> String {
+    format!("walker {i}") //~ hot-path
+}
+
+pub fn staging(n: usize) -> Vec<f64> {
+    vec![0.0; n] //~ hot-path
+}
+
+pub fn risky(xs: &[f64]) -> f64 {
+    let first = xs.first().unwrap(); //~ hot-path
+    if !first.is_finite() {
+        panic!("non-finite input"); //~ hot-path
+    }
+    *first
+}
+
+pub fn boxed(x: f64) -> Box<f64> {
+    Box::new(x) //~ hot-path
+}

@@ -1,0 +1,17 @@
+// fixture-class: physics
+// Raw casts and suffixed literals in a physics crate, outside any
+// designated mixed-precision module: every one must be flagged.
+
+pub fn narrow(x: f64) -> f32 {
+    x as f32 //~ precision-cast
+}
+
+pub fn widen(x: f32) -> f64 {
+    x as f64 //~ precision-cast
+}
+
+pub fn pinned_literals() -> (f32, f64) {
+    let a = 1.5f32; //~ precision-cast
+    let b = 2.0f64; //~ precision-cast
+    (a, b)
+}

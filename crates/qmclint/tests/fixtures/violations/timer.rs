@@ -1,0 +1,17 @@
+// fixture-class: kernel,physics
+// A batched `mw_*` entry point that neither wraps its body in a
+// `Kernel::*` timer nor delegates to another `mw_*` kernel.
+
+pub struct Engine {
+    values: Vec<f64>,
+}
+
+impl Engine {
+    pub fn mw_evaluate_bare(&mut self, n: usize) -> f64 { //~ timer-coverage
+        let mut acc = 0.0;
+        for i in 0..n.min(self.values.len()) {
+            acc += self.values[i];
+        }
+        acc
+    }
+}

@@ -1,0 +1,11 @@
+// fixture-class: plain
+// `unsafe` without an adjacent safety justification (the rule applies to
+// every non-exempt file, whatever its class).
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p } //~ unsafe-comment
+}
+
+pub unsafe fn reinterpret(bits: u64) -> f64 { //~ unsafe-comment
+    f64::from_bits(bits)
+}

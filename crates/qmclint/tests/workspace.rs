@@ -1,0 +1,27 @@
+//! The workspace itself must lint clean: `cargo test -p qmclint` is a
+//! second enforcement point for the CI gate, so a regression fails the
+//! test suite even when nobody runs the `qmclint` binary directly.
+
+use std::path::Path;
+
+#[test]
+fn repository_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = qmclint::lint_workspace(&root);
+    assert!(
+        report.files_scanned > 40,
+        "suspiciously few files scanned ({}) — exemption config drift?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(qmclint::Diagnostic::render_human)
+        .collect();
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has {} unsuppressed qmclint diagnostics:\n{}",
+        report.diagnostics.len(),
+        rendered.join("\n")
+    );
+}

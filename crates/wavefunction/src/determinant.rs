@@ -28,6 +28,10 @@ pub enum DetUpdateMode {
     Delayed(usize),
 }
 
+// The delayed variant carries its U/V panels inline; boxing it would put a
+// pointer chase on the per-move accept path for one allocation per
+// determinant (two per engine), which is not worth it.
+#[allow(clippy::large_enum_variant)]
 enum InverseEngine<T: Real> {
     Direct(Matrix<T>),
     Delayed(DelayedInverse<T>),
@@ -142,7 +146,7 @@ impl<T: Real> DiracDeterminant<T> {
     }
 
     fn engine_inv_row(&mut self, local: usize) {
-        match &self.engine {
+        match &mut self.engine {
             InverseEngine::Direct(m) => {
                 self.inv_row.as_mut_slice().copy_from_slice(m.row(local));
             }
@@ -162,7 +166,7 @@ impl<T: Real> DiracDeterminant<T> {
 }
 
 impl<T: Real> WaveFunctionComponent<T> for DiracDeterminant<T> {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "DiracDeterminant"
     }
 
@@ -202,7 +206,7 @@ impl<T: Real> WaveFunctionComponent<T> for DiracDeterminant<T> {
         for i in 0..nel {
             let mi = minv_t64.row(i);
             let mut g = TinyVector::<f64, 3>::zero();
-            let mut lap = 0.0f64;
+            let mut lap: f64 = 0.0;
             for j in 0..nel {
                 for d in 0..3 {
                     g[d] += self.g_m[d][(i, j)].to_f64() * mi[j];
@@ -392,6 +396,8 @@ impl<T: Real> WaveFunctionComponent<T> for DiracDeterminant<T> {
         }
         buf.put_f64(self.log_value);
         buf.put_f64(self.sign);
+        // qmclint: allow(precision-cast) — the checkpoint buffer carries
+        // f64 scalars; the recompute counter is a small integer, exact.
         buf.put_f64(self.accepted_since_recompute as f64);
     }
 
@@ -421,7 +427,11 @@ impl<T: Real> WaveFunctionComponent<T> for DiracDeterminant<T> {
         let inv_bytes = self.psi_m.bytes();
         self.psi_m.bytes()
             + inv_bytes
-            + self.g_m.iter().map(|m| m.bytes()).sum::<usize>()
+            + self
+                .g_m
+                .iter()
+                .map(qmc_containers::Matrix::bytes)
+                .sum::<usize>()
             + self.l_m.bytes()
     }
 }

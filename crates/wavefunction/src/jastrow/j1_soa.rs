@@ -73,12 +73,13 @@ impl<T: Real> J1Soa<T> {
             ..
         } = self;
         for (g, r) in ion_groups.iter().enumerate() {
+            let (lo, hi) = (r.start, r.end);
             evaluate_vgl_batch(
                 &functors[g],
-                &dists[r.clone()],
-                &mut cur_u.as_mut_slice()[r.clone()],
-                &mut cur_dud.as_mut_slice()[r.clone()],
-                &mut cur_lap.as_mut_slice()[r.clone()],
+                &dists[lo..hi],
+                &mut cur_u.as_mut_slice()[lo..hi],
+                &mut cur_dud.as_mut_slice()[lo..hi],
+                &mut cur_lap.as_mut_slice()[lo..hi],
             );
         }
         let _ = nion;
@@ -92,24 +93,25 @@ impl<T: Real> J1Soa<T> {
             ..
         } = self;
         for (g, r) in ion_groups.iter().enumerate() {
+            let (lo, hi) = (r.start, r.end);
             evaluate_v_batch(
                 &functors[g],
-                &dists[r.clone()],
-                &mut cur_u.as_mut_slice()[r.clone()],
+                &dists[lo..hi],
+                &mut cur_u.as_mut_slice()[lo..hi],
             );
         }
     }
 }
 
 impl<T: Real> WaveFunctionComponent<T> for J1Soa<T> {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "J1-soa"
     }
 
     fn evaluate_log(&mut self, p: &mut ParticleSet<T>) -> f64 {
         let (n, nion) = (self.n, self.nion);
         time_kernel(Kernel::J1, || {
-            let mut logpsi = 0.0f64;
+            let mut logpsi: f64 = 0.0;
             for i in 0..n {
                 self.batch_vgl(p.table(self.table).as_ab_soa().dist_row(i));
                 let t = p.table(self.table).as_ab_soa();

@@ -7,6 +7,8 @@
 //! All loops are scalar over AoS data, reproducing the baseline's poor SIMD
 //! efficiency.
 
+// qmclint: allow-file(precision-cast) — the reference (AoS) Jastrow accumulates G/L in
+// f64 by the paper's mixed-precision design: double accumulators over T-valued terms.
 use super::PairFunctors;
 use crate::buffer::WalkerBuffer;
 use crate::traits::WaveFunctionComponent;
@@ -88,7 +90,7 @@ impl<T: Real> J2Ref<T> {
 }
 
 impl<T: Real> WaveFunctionComponent<T> for J2Ref<T> {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "J2-ref"
     }
 
@@ -227,7 +229,7 @@ impl<T: Real> WaveFunctionComponent<T> for J2Ref<T> {
         buf.get_matrix(&mut self.u);
         let mut x = [T::ZERO; 1];
         for d in 0..3 {
-            for p in self.du.iter_mut() {
+            for p in &mut self.du {
                 buf.get_slice(&mut x);
                 p[d] = x[0];
             }

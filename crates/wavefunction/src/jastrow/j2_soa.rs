@@ -74,13 +74,14 @@ impl<T: Real> J2Soa<T> {
     ) {
         for g2 in 0..p.num_groups() {
             let r = p.group_range(g2);
+            let (lo, hi) = (r.start, r.end);
             let f = functors.get(gk, g2);
             evaluate_vgl_batch(
                 f,
-                &dists[r.clone()],
-                &mut u[r.clone()],
-                &mut dud[r.clone()],
-                &mut lap[r],
+                &dists[lo..hi],
+                &mut u[lo..hi],
+                &mut dud[lo..hi],
+                &mut lap[lo..hi],
             );
         }
     }
@@ -95,13 +96,13 @@ impl<T: Real> J2Soa<T> {
         for g2 in 0..p.num_groups() {
             let r = p.group_range(g2);
             let f = functors.get(gk, g2);
-            evaluate_v_batch(f, &dists[r.clone()], &mut u[r]);
+            evaluate_v_batch(f, &dists[r.start..r.end], &mut u[r]);
         }
     }
 }
 
 impl<T: Real> WaveFunctionComponent<T> for J2Soa<T> {
-    fn name(&self) -> &str {
+    fn name(&self) -> &'static str {
         "J2-soa"
     }
 
@@ -109,7 +110,7 @@ impl<T: Real> WaveFunctionComponent<T> for J2Soa<T> {
         let n = self.n;
         time_kernel(Kernel::J2, || {
             let t = p.table(self.table).as_aa_soa();
-            let mut logpsi = 0.0f64;
+            let mut logpsi: f64 = 0.0;
             for i in 0..n {
                 let gk = p.group_of(i);
                 let dists = t.dist_row(i);

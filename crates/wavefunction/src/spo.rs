@@ -37,6 +37,9 @@ pub trait SpoSet<T: Real>: Send + Sync {
     /// to per-walker evaluation by construction); table-backed sets
     /// override it with a fused one-pass kernel over the shared
     /// coefficients.
+    // qmclint: allow(timer-coverage) — delegates to evaluate_vgl, which is
+    // already timed under Kernel::BsplineVGH/SpoVGL; a wrapper timer here
+    // would double-count.
     fn mw_evaluate_vgl(&mut self, pos: &[Pos<T>], psi: &mut [T], grad: &mut [T], lap: &mut [T]) {
         let ns = self.size();
         for (w, &p) in pos.iter().enumerate() {
@@ -75,6 +78,9 @@ pub struct BsplineSpo<T: Real> {
     scratch_grad: Vec<T>,
     /// Scratch for fractional-space Hessians (6 slabs).
     scratch_hess: Vec<T>,
+    /// Scratch for per-walker fractional coordinates (batched VGL path);
+    /// grown once to the crowd size, then reused allocation-free.
+    scratch_frac: Vec<[T; 3]>,
 }
 
 // Scratch is per-instance; instances are cloned per thread.
@@ -88,6 +94,7 @@ impl<T: Real> Clone for BsplineSpo<T> {
             lapmet: self.lapmet,
             scratch_grad: self.scratch_grad.clone(),
             scratch_hess: self.scratch_hess.clone(),
+            scratch_frac: self.scratch_frac.clone(),
         }
     }
 }
@@ -110,6 +117,7 @@ impl<T: Real> BsplineSpo<T> {
             lapmet,
             scratch_grad: vec![T::ZERO; 3 * ns],
             scratch_hess: vec![T::ZERO; 6 * ns],
+            scratch_frac: Vec::new(),
         }
     }
 
@@ -198,11 +206,20 @@ impl<T: Real> SpoSet<T> for BsplineSpo<T> {
         let ns = self.size();
         let nw = pos.len();
         assert!(psi.len() >= nw * ns && grad.len() >= 3 * nw * ns && lap.len() >= nw * ns);
-        let us: Vec<[T; 3]> = pos.iter().map(|&p| self.to_frac(p)).collect();
+        // Reuse the per-instance scratch: grows to the crowd size on the
+        // first batch, then stays allocation-free on the steady-state path.
+        let mut us = std::mem::take(&mut self.scratch_frac);
+        if us.len() < nw {
+            us.resize(nw, [T::ZERO; 3]);
+        }
+        for (u, &p) in us[..nw].iter_mut().zip(pos.iter()) {
+            *u = self.to_frac(p);
+        }
         time_kernel(Kernel::BsplineMwVGL, || {
             self.table
-                .mw_evaluate_vgl(&us, &self.gmat, &self.lapmet, psi, grad, lap);
+                .mw_evaluate_vgl(&us[..nw], &self.gmat, &self.lapmet, psi, grad, lap);
         });
+        self.scratch_frac = us;
         add_flops_bytes(
             Kernel::BsplineMwVGL,
             (64 * 14 * ns * nw) as u64,
@@ -236,11 +253,12 @@ impl<T: Real> CosineSpo<T> {
                         if ix.abs().max(iy.abs()).max(iz.abs()) != shell {
                             continue;
                         }
-                        ks.push(TinyVector([
-                            TAU * ix as f64 / l[0],
-                            TAU * iy as f64 / l[1],
-                            TAU * iz as f64 / l[2],
-                        ]));
+                        // qmclint: allow(precision-cast) — analytic test
+                        // SPO builds its k-table in f64 by design.
+                        let k = |i: i64, edge: f64| TAU * i as f64 / edge;
+                        ks.push(TinyVector([k(ix, l[0]), k(iy, l[1]), k(iz, l[2])]));
+                        // qmclint: allow(precision-cast) — phase offsets are
+                        // part of the same deliberate f64 reference table.
                         phases.push(0.4 + 0.3 * m as f64);
                         m += 1;
                         if ks.len() == n {

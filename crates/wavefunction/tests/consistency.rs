@@ -290,7 +290,7 @@ fn determinant_gradient_laplacian_finite_difference() {
         8,
         1e-4,
         1e-2,
-    )
+    );
 }
 
 #[test]

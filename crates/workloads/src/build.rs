@@ -2,6 +2,8 @@
 //! spline tables, Jastrow functors and fully assembled [`QmcEngine`]s for
 //! any code version of the paper's optimization ladder.
 
+// qmclint: allow-file(precision-cast) — workload construction lays out ion/tile
+// geometry directly in f64 before any T-typed state exists.
 use crate::spec::{Benchmark, Size, WorkloadSpec};
 use qmc_bspline::{CubicBspline1D, MultiBspline3D};
 use qmc_containers::{Pos, Real, TinyVector};
@@ -167,7 +169,7 @@ impl Workload {
 
     /// Number of ions in this instance.
     pub fn num_ions(&self) -> usize {
-        self.ion_positions.iter().map(|v| v.len()).sum()
+        self.ion_positions.iter().map(std::vec::Vec::len).sum()
     }
 
     /// Initial electron configuration (walker seed positions).
@@ -338,7 +340,7 @@ impl Workload {
     /// Assembles one engine at precision `T` with the given shared table.
     fn assemble<T: Real>(
         &self,
-        table: Arc<MultiBspline3D<T>>,
+        table: &Arc<MultiBspline3D<T>>,
         layout: Layout,
         spo_layout: SpoLayout,
         det_mode: DetUpdateMode,
@@ -354,13 +356,21 @@ impl Workload {
             Layout::Aos => {
                 let pf = PairFunctors::new(2, |a, b| self.pair_functors().get(a, b).cast::<T>());
                 psi.add(Box::new(J2Ref::new(&e, h_aa, pf)));
-                let fs = self.ion_functors().iter().map(|f| f.cast::<T>()).collect();
+                let fs = self
+                    .ion_functors()
+                    .iter()
+                    .map(qmc_bspline::CubicBspline1D::cast::<T>)
+                    .collect();
                 psi.add(Box::new(J1Ref::new(&e, &ions, h_ab, fs)));
             }
             Layout::Soa => {
                 let pf = PairFunctors::new(2, |a, b| self.pair_functors().get(a, b).cast::<T>());
                 psi.add(Box::new(J2Soa::new(&e, h_aa, pf)));
-                let fs = self.ion_functors().iter().map(|f| f.cast::<T>()).collect();
+                let fs = self
+                    .ion_functors()
+                    .iter()
+                    .map(qmc_bspline::CubicBspline1D::cast::<T>)
+                    .collect();
                 psi.add(Box::new(J1Soa::new(&e, &ions, h_ab, fs)));
             }
         }
@@ -368,7 +378,7 @@ impl Workload {
         let n = e.len();
         let lat: CrystalLattice<T> = self.lattice();
         for (first, nel) in [(0, n / 2), (n / 2, n - n / 2)] {
-            let spo = BsplineSpo::new(Arc::clone(&table), lat.clone(), spo_layout);
+            let spo = BsplineSpo::new(Arc::clone(table), lat.clone(), spo_layout);
             psi.add(Box::new(DiracDeterminant::new(
                 Box::new(spo),
                 first,
@@ -393,11 +403,10 @@ impl Workload {
     pub fn build_engine_f64(&self, code: CodeVersion) -> QmcEngine<f64> {
         assert!(
             !code.single_precision(),
-            "{:?} is a single-precision version",
-            code
+            "{code:?} is a single-precision version"
         );
         self.assemble(
-            self.table_f64(),
+            &self.table_f64(),
             code.layout(),
             code.spo_layout(),
             code.det_mode(),
@@ -408,11 +417,10 @@ impl Workload {
     pub fn build_engine_f32(&self, code: CodeVersion) -> QmcEngine<f32> {
         assert!(
             code.single_precision(),
-            "{:?} is a double-precision version",
-            code
+            "{code:?} is a double-precision version"
         );
         self.assemble(
-            self.table_f32(),
+            &self.table_f32(),
             code.layout(),
             code.spo_layout(),
             code.det_mode(),

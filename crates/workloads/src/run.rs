@@ -7,7 +7,9 @@ use crate::build::{CodeVersion, Workload};
 use qmc_containers::Real;
 use qmc_crowd::{run_dmc_crowd, CrowdScheduler};
 use qmc_drivers::{initial_population, run_dmc_parallel, Batching, DmcParams, QmcEngine, Walker};
-use qmc_instrument::{take_drift_stats, DriftStats, Profile, RunReport};
+use qmc_instrument::{
+    take_drift_stats, take_sanitizer_stats, DriftStats, Profile, RunReport, SanitizerStats,
+};
 
 /// Execution configuration for one benchmark run.
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +69,9 @@ pub struct RunOutcome {
     pub e_trial: f64,
     /// Mixed-precision log psi drift observed at from-scratch refreshes.
     pub drift: DriftStats,
+    /// Runtime invariant sanitizer counters (all zero unless built with
+    /// the `checked` feature).
+    pub sanitizer: SanitizerStats,
     /// Bytes of one walker (positions + anonymous buffer).
     pub walker_bytes: usize,
     /// Bytes of one engine (wavefunction internals + distance tables).
@@ -80,6 +85,8 @@ pub struct RunOutcome {
 impl RunOutcome {
     /// Throughput `P = samples / seconds` (§6.2 figure of merit).
     pub fn throughput(&self) -> f64 {
+        // qmclint: allow(precision-cast) — sample counts convert exactly to f64
+        // for the throughput figure of merit.
         self.samples as f64 / self.seconds
     }
 
@@ -131,6 +138,7 @@ impl RunOutcome {
             profile: self.profile.clone(),
             crowd_profiles: self.crowd_profiles.clone(),
             drift: self.drift,
+            sanitizer: self.sanitizer,
             walker_bytes: self.walker_bytes as u64,
             engine_bytes: self.engine_bytes as u64,
             table_bytes: self.table_bytes as u64,
@@ -156,8 +164,10 @@ fn run_generic<T: Real>(
         batching: cfg.batching,
     };
     let threads = cfg.threads.max(1);
-    // Reset the global drift counters so the run owns what it reports.
+    // Reset the global drift and sanitizer counters so the run owns what
+    // it reports.
     take_drift_stats();
+    take_sanitizer_stats();
     let (res, profile, engine_bytes, seconds);
     match cfg.batching {
         Batching::PerWalker => {
@@ -165,7 +175,7 @@ fn run_generic<T: Real>(
             let t0 = std::time::Instant::now();
             let (r, p) = run_dmc_parallel(&mut engines, &mut walkers, &params);
             seconds = t0.elapsed().as_secs_f64();
-            engine_bytes = engines.first().map(|e| e.bytes()).unwrap_or(0);
+            engine_bytes = engines.first().map_or(0, qmc_drivers::QmcEngine::bytes);
             res = r;
             profile = p;
         }
@@ -175,7 +185,7 @@ fn run_generic<T: Real>(
             let t0 = std::time::Instant::now();
             let (r, p) = run_dmc_crowd(&mut crowds, &mut walkers, &params);
             seconds = t0.elapsed().as_secs_f64();
-            engine_bytes = crowds.first().map(|c| c.engine_bytes()).unwrap_or(0);
+            engine_bytes = crowds.first().map_or(0, qmc_crowd::Crowd::engine_bytes);
             res = r;
             profile = p;
         }
@@ -193,7 +203,8 @@ fn run_generic<T: Real>(
         e_trial_trace: res.e_trial_trace,
         e_trial: res.e_trial,
         drift: take_drift_stats(),
-        walker_bytes: walkers.first().map(|w| w.bytes()).unwrap_or(0),
+        sanitizer: take_sanitizer_stats(),
+        walker_bytes: walkers.first().map_or(0, qmc_drivers::Walker::bytes),
         engine_bytes,
         table_bytes: workload.table_bytes(code.single_precision()),
         final_population: walkers.len(),

@@ -7,6 +7,8 @@
 //! (orthorhombic supercells — see DESIGN.md substitutions).
 
 /// The four paper benchmarks.
+// qmclint: allow-file(precision-cast) — problem-spec arithmetic (particle counts, cell
+// edges, tilings) is exact integer-to-f64 conversion at setup.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Benchmark {
     /// Crystalline graphite (C, 256 electrons, CORAL throughput benchmark).

