@@ -10,8 +10,14 @@ cargo fmt --all -- --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== qmclint (project invariants) =="
-cargo run --release -q -p qmclint -- --root .
+echo "== qmclint (lexical + call-graph invariants, JSON gate) =="
+cargo run --release -q -p qmclint -- --root . --json > QMCLINT.json
+# Belt and braces: the exit code above already gates, but also refuse a
+# report with any nonzero per-rule count, so a new diagnostic class can
+# never slip through at nonzero volume.
+grep -q '"diagnostics_total":0' QMCLINT.json
+! grep -o '"by_rule":{[^}]*}' QMCLINT.json | grep -q ':[1-9]'
+rm -f QMCLINT.json
 
 echo "== build (release) =="
 cargo build --release
@@ -21,6 +27,14 @@ cargo test -q --workspace
 
 echo "== sanitizer tests (checked feature) =="
 cargo test -q -p qmc-drivers --features checked
+
+echo "== qmcsched (deterministic schedule parity, VMC + DMC) =="
+cargo run --release -q -p qmcsched > /dev/null
+
+echo "== bench snapshot (BENCH_pr5.json) =="
+cargo run --release -q -p qmc-bench --bin bench_snapshot -- \
+    --threads 2 --walkers 4 --steps 4 --reps 1 > BENCH_pr5.json
+grep -q '"schema":"qmc-bench-snapshot/1"' BENCH_pr5.json
 
 echo "== bench smoke (crowd kernels) =="
 cargo bench -p qmc-bench --bench bench_crowd -- --test

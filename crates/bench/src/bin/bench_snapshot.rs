@@ -1,0 +1,49 @@
+//! Machine-readable benchmark snapshot for CI.
+//!
+//! Runs the graphite workload under the Ref and Current code versions and
+//! prints one `qmc-bench-snapshot/1` JSON document to stdout: wall time,
+//! throughput, and per-kernel seconds for every kernel category. CI
+//! redirects this into `BENCH_pr5.json` so successive PRs leave comparable
+//! timing artifacts next to the test logs.
+//!
+//! Knobs are the shared harness flags (`--walkers`, `--steps`,
+//! `--threads`, `--seed`, `--reps`, `--full`); defaults are smoke-sized.
+
+use qmc_bench::{run_report, HarnessConfig};
+use qmc_instrument::json::JsonWriter;
+use qmc_instrument::ALL_KERNELS;
+use qmc_workloads::{Benchmark, CodeVersion};
+
+fn main() {
+    let cfg = HarnessConfig::from_env();
+    let w = cfg.workload(Benchmark::Graphite);
+
+    let mut j = JsonWriter::new();
+    j.begin_obj();
+    j.key("schema").str_val("qmc-bench-snapshot/1");
+    j.key("benchmark").str_val(w.spec.name);
+    j.key("electrons").u64_val(w.num_electrons() as u64);
+    j.key("threads").u64_val(cfg.threads as u64);
+    j.key("walkers").u64_val(cfg.walkers as u64);
+    j.key("steps").u64_val(cfg.steps as u64);
+    j.key("seed").u64_val(cfg.seed);
+    j.key("runs").begin_arr();
+    for code in [CodeVersion::Ref, CodeVersion::Current] {
+        let report = run_report(&w, code, &cfg);
+        j.begin_obj();
+        j.key("code").str_val(&report.code);
+        j.key("seconds").f64_val(report.seconds);
+        j.key("samples").u64_val(report.samples);
+        j.key("throughput_samples_per_s")
+            .f64_val(report.throughput());
+        j.key("kernels").begin_obj();
+        for &k in &ALL_KERNELS {
+            j.key(k.label()).f64_val(report.profile.get(k).seconds());
+        }
+        j.end_obj();
+        j.end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
+    println!("{}", j.finish());
+}

@@ -5,6 +5,8 @@
 //! data series the corresponding paper figure plots; `--full` switches
 //! from the scaled default to paper-sized problems.
 
+#![forbid(unsafe_code)]
+
 use qmc_workloads::{Benchmark, CodeVersion, RunConfig, Size, Workload};
 
 /// Common harness configuration parsed from `std::env::args`.

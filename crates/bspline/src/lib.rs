@@ -12,6 +12,7 @@
 //! * [`TiledMultiBspline3D`] — the AoSoA-tiled variant the paper proposes
 //!   as future work (§8.4 of the paper, its ref. 8), with rayon tile parallelism.
 
+#![forbid(unsafe_code)]
 // Indexed loops over multiple parallel slices are the deliberate idiom in
 // the SIMD kernels (mirrors the paper's C++ and keeps the auto-vectorizer's
 // job obvious); iterator zips would obscure them.

@@ -10,6 +10,8 @@
 //! precision, store-everything) and optimized (SoA, mixed-precision,
 //! forward-update, compute-on-the-fly) implementations side by side.
 
+#![forbid(unsafe_code)]
+
 pub use qmc_bspline as bspline;
 pub use qmc_containers as containers;
 pub use qmc_crowd as crowd;

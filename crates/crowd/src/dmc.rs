@@ -22,7 +22,7 @@ pub fn run_dmc_crowd<T: Real>(
     let profile = Mutex::new(ProfileSet::with_groups(crowds.len()));
 
     // Parallel walker initialization over the same contiguous chunks.
-    std::thread::scope(|scope| {
+    rayon::scope(|scope| {
         let chunks = chunks_mut(walkers, crowds.len());
         for (c, (crowd, chunk)) in crowds.iter_mut().zip(chunks).enumerate() {
             let profile = &profile;

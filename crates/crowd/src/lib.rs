@@ -17,6 +17,8 @@
 //! batching is purely an execution-shape choice
 //! (`qmc_drivers::Batching`).
 
+#![forbid(unsafe_code)]
+
 pub mod crowd;
 pub mod dmc;
 pub mod scheduler;

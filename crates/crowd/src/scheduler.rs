@@ -76,7 +76,7 @@ impl CrowdScheduler {
             return (0.0, 0.0, 0, 0);
         }
         let counts = Mutex::new((0usize, 0usize));
-        std::thread::scope(|scope| {
+        rayon::scope(|scope| {
             let chunks = chunks_mut(walkers, crowds.len());
             for (c, (crowd, chunk)) in crowds.iter_mut().zip(chunks).enumerate() {
                 let counts = &counts;

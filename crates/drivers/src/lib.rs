@@ -13,6 +13,7 @@
 //!   exchange, for the strong-scaling study (Fig. 1).
 //! * [`estimator`] / [`branch`] — statistics and population control.
 
+#![forbid(unsafe_code)]
 // Indexed loops over multiple parallel slices are the deliberate idiom in
 // the SIMD kernels (mirrors the paper's C++ and keeps the auto-vectorizer's
 // job obvious); iterator zips would obscure them.
@@ -34,7 +35,7 @@ pub use branch::BranchController;
 pub use dmc::{run_dmc, DmcParams, DmcResult};
 pub use engine::{limited_drift, HamiltonianSet, QmcEngine, SweepStats};
 pub use estimator::ScalarEstimator;
-pub use parallel::{chunks_mut, parallel_generation, run_dmc_parallel};
+pub use parallel::{chunks_mut, parallel_generation, run_dmc_parallel, run_vmc_parallel};
 pub use ranks::{run_multi_rank, MultiRankParams, MultiRankResult};
 pub use serialize::{deserialize_walker, serialize_walker};
 pub use vmc::{run_vmc, VmcParams, VmcResult};

@@ -6,6 +6,11 @@
 //! `load_walker`/`store_walker`. Per-kernel timing is drained from each
 //! worker's thread-local profile and merged, reproducing the paper's
 //! hot-spot accounting.
+//!
+//! All thread fan-out goes through `rayon::scope` (the in-tree shim), so
+//! the whole crew is subject to the deterministic schedules the `qmcsched`
+//! harness installs via `rayon::schedule` — the lever behind the
+//! schedule-independence (bitwise parity) checks.
 
 // qmclint: allow-file(precision-cast) — thread/walker bookkeeping converts counts and
 // timings to f64 for the aggregated statistics only.
@@ -61,7 +66,7 @@ pub fn parallel_generation<T: Real>(
     }
     let nthreads = engines.len();
     let counts = Mutex::new((0usize, 0usize));
-    std::thread::scope(|scope| {
+    rayon::scope(|scope| {
         let chunks = chunks_mut(walkers, nthreads);
         for (t, (engine, chunk)) in engines.iter_mut().zip(chunks).enumerate() {
             let counts = &counts;
@@ -102,6 +107,108 @@ pub fn parallel_generation<T: Real>(
     (esum, wsum, acc, att)
 }
 
+/// Runs VMC across a crew of engines (one per thread): the block loop of
+/// [`crate::vmc::run_vmc`] with the per-block walker loop fanned out over
+/// contiguous chunks.
+///
+/// Per-walker local-energy samples are buffered inside the parallel
+/// section and pushed into the estimator *sequentially in walker order*
+/// after each block, so the sample stream — and therefore the result — is
+/// bitwise identical to the single-engine driver for any thread count and
+/// any task schedule.
+pub fn run_vmc_parallel<T: Real>(
+    engines: &mut [QmcEngine<T>],
+    walkers: &mut [Walker<T>],
+    params: &crate::vmc::VmcParams,
+) -> crate::vmc::VmcResult {
+    assert!(!engines.is_empty());
+    qmc_instrument::enable_ftz();
+    let mut energy = ScalarEstimator::new();
+    let counts = Mutex::new((0usize, 0usize));
+    let mut samples = 0u64;
+
+    {
+        let chunks = chunks_mut(walkers, engines.len());
+        rayon::scope(|scope| {
+            for (t, (engine, chunk)) in engines.iter_mut().zip(chunks).enumerate() {
+                scope.spawn(move || {
+                    qmc_instrument::enable_ftz();
+                    let _span = span("vmc init", t as u64);
+                    for w in chunk.iter_mut() {
+                        engine.init_walker(w);
+                    }
+                });
+            }
+        });
+    }
+
+    // One sample buffer per walker, refilled each block and drained in
+    // walker order (matching `run_vmc`'s block-major, walker-major,
+    // step-major sample stream exactly).
+    let mut buffered: Vec<Vec<f64>> = walkers.iter().map(|_| Vec::new()).collect();
+    for block in 0..params.blocks {
+        let _block_span = span_lazy(engines.len() as u64, || format!("vmc block {block}"));
+        {
+            let wchunks = chunks_mut(walkers, engines.len());
+            let bchunks = chunks_mut(&mut buffered, engines.len());
+            rayon::scope(|scope| {
+                for (t, ((engine, wchunk), bchunk)) in
+                    engines.iter_mut().zip(wchunks).zip(bchunks).enumerate()
+                {
+                    let counts = &counts;
+                    scope.spawn(move || {
+                        qmc_instrument::enable_ftz();
+                        let _span = span("vmc worker block", t as u64);
+                        let (mut acc, mut att) = (0usize, 0usize);
+                        for (w, buf) in wchunk.iter_mut().zip(bchunk.iter_mut()) {
+                            buf.clear();
+                            engine.load_walker(w);
+                            // Per-block mixed-precision hygiene, as in
+                            // `run_vmc`.
+                            engine.refresh_from_scratch();
+                            for step in 0..params.steps_per_block {
+                                let stats = engine.sweep(params.tau, &mut w.rng);
+                                acc += stats.accepted;
+                                att += stats.attempted;
+                                if step % params.measure_every == 0 {
+                                    let el = engine.measure(&mut w.rng);
+                                    w.e_local = el.total();
+                                    qmc_instrument::check_finite(
+                                        qmc_instrument::CheckKind::LocalEnergy,
+                                        w.e_local,
+                                    );
+                                    buf.push(w.e_local);
+                                }
+                            }
+                            engine.store_walker(w);
+                        }
+                        let mut c = counts.lock();
+                        c.0 += acc;
+                        c.1 += att;
+                    });
+                }
+            });
+        }
+        samples += (walkers.len() * params.steps_per_block) as u64;
+        for buf in &buffered {
+            for &e in buf {
+                energy.push(e, 1.0);
+            }
+        }
+    }
+
+    let (accepted, attempted) = counts.into_inner();
+    crate::vmc::VmcResult {
+        energy,
+        acceptance: if attempted > 0 {
+            accepted as f64 / attempted as f64
+        } else {
+            0.0
+        },
+        samples,
+    }
+}
+
 /// Runs DMC across a crew of engines (one per thread). Walker
 /// initialization is parallel too. Returns the result together with the
 /// merged kernel [`ProfileSet`] (one group per worker thread).
@@ -117,7 +224,7 @@ pub fn run_dmc_parallel<T: Real>(
     // Parallel walker initialization.
     {
         let chunks = chunks_mut(walkers, nthreads);
-        std::thread::scope(|scope| {
+        rayon::scope(|scope| {
             for (t, (engine, chunk)) in engines.iter_mut().zip(chunks).enumerate() {
                 let profile = &profile;
                 scope.spawn(move || {

@@ -14,6 +14,7 @@
 //!   (Fahy et al., the paper's ref. 19) — the code path that makes the
 //!   `Bspline-v` kernel hot.
 
+#![forbid(unsafe_code)]
 // Indexed loops over multiple parallel slices are the deliberate idiom in
 // the SIMD kernels (mirrors the paper's C++ and keeps the auto-vectorizer's
 // job obvious); iterator zips would obscure them.

@@ -6,6 +6,7 @@
 //! driven by the matrix determinant lemma (Eq. 6 of the paper), and the
 //! delayed Woodbury update engine the paper proposes as future work (§8.4).
 
+#![forbid(unsafe_code)]
 // Indexed loops over multiple parallel slices are the deliberate idiom in
 // the SIMD kernels (mirrors the paper's C++ and keeps the auto-vectorizer's
 // job obvious); iterator zips would obscure them.

@@ -14,6 +14,8 @@
 //! * `check_wfc` — full-wavefunction correctness checker (Ref vs Current).
 //! * `check_spo` — SPO evaluator correctness checker.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 
 pub use args::Options;

@@ -7,6 +7,7 @@
 //! SoA tables with forward update and compute-on-the-fly rows (§7.4-7.5,
 //! Fig. 6).
 
+#![forbid(unsafe_code)]
 // Indexed loops over multiple parallel slices are the deliberate idiom in
 // the SIMD kernels (mirrors the paper's C++ and keeps the auto-vectorizer's
 // job obvious); iterator zips would obscure them.

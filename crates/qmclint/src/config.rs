@@ -42,6 +42,19 @@ const EXEMPT_MARKERS: [&str; 8] = [
 /// Top-level (workspace-root) directories that are exempt as a whole.
 const EXEMPT_PREFIXES: [&str; 2] = ["tests/", "examples/"];
 
+/// Directory *names* the workspace walk never descends into. Part of the
+/// reviewed configuration (like every other list here) rather than
+/// hard-coded in the walker: `shims/` is vendored third-party API surface,
+/// the rest is build/VCS noise. The walker also carries a visited set of
+/// canonical paths, so symlink cycles terminate.
+pub const SKIP_DIRS: [&str; 4] = ["target", ".git", "node_modules", "shims"];
+
+/// Root modules of the lock-order rule: every function defined here (and
+/// everything reachable from it through the call graph) must agree on one
+/// acquisition order per lock pair. The crowd scheduler is the only place
+/// the lock-step drivers hold more than one `parking_lot` lock at a time.
+pub const LOCK_ROOTS: [&str; 1] = ["crates/crowd/"];
+
 /// Designated mixed-precision modules (ISSUE rule 1): the only places a
 /// raw `as f32`/`as f64` cast or suffixed float literal is legal without a
 /// justification. Everything else must go through the `Real` trait

@@ -19,11 +19,22 @@ pub enum Rule {
     /// Non-deterministic constructs (`SystemTime`, `thread_rng`, hash-map
     /// iteration) in physics crates.
     Determinism,
+    /// Allocation / panic machinery reachable from a hot kernel entry
+    /// point through its transitive callee set (the inter-procedural half
+    /// of [`Rule::HotPath`]; the diagnostic carries the call chain).
+    HotPathCall,
+    /// `f32`-typed locals or `f32`-returning calls flowing into an `f64`
+    /// accumulator without a designated promotion site.
+    PrecisionFlow,
+    /// Inconsistent lock-acquisition order among functions reachable from
+    /// the crowd scheduler (potential deadlock).
+    LockOrder,
     /// Malformed `qmclint:` marker (unknown rule, missing justification).
     BadMarker,
 }
 
-/// Every real rule, in display order ([`Rule::BadMarker`] is meta).
+/// Every per-file lexical rule, in display order ([`Rule::BadMarker`] is
+/// meta; the graph rules live in [`GRAPH_RULES`]).
 pub const ALL_RULES: [Rule; 5] = [
     Rule::PrecisionCast,
     Rule::HotPath,
@@ -31,6 +42,10 @@ pub const ALL_RULES: [Rule; 5] = [
     Rule::TimerCoverage,
     Rule::Determinism,
 ];
+
+/// The workspace-level rules that need the call-graph model (qmclint v2).
+/// Exercised by the multi-file fixtures under `tests/fixtures/graph/`.
+pub const GRAPH_RULES: [Rule; 3] = [Rule::HotPathCall, Rule::PrecisionFlow, Rule::LockOrder];
 
 impl Rule {
     /// Stable rule id used in diagnostics and allow markers.
@@ -41,6 +56,9 @@ impl Rule {
             Rule::UnsafeComment => "unsafe-comment",
             Rule::TimerCoverage => "timer-coverage",
             Rule::Determinism => "determinism",
+            Rule::HotPathCall => "hot-path-call",
+            Rule::PrecisionFlow => "precision-flow",
+            Rule::LockOrder => "lock-order",
             Rule::BadMarker => "bad-marker",
         }
     }
@@ -53,6 +71,9 @@ impl Rule {
             "unsafe-comment" => Some(Rule::UnsafeComment),
             "timer-coverage" => Some(Rule::TimerCoverage),
             "determinism" => Some(Rule::Determinism),
+            "hot-path-call" => Some(Rule::HotPathCall),
+            "precision-flow" => Some(Rule::PrecisionFlow),
+            "lock-order" => Some(Rule::LockOrder),
             _ => None,
         }
     }
@@ -77,15 +98,24 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix or justify it.
     pub suggestion: String,
+    /// Call chain from the anchor site to the offending site (graph rules
+    /// only; empty for the per-file lexical rules). Each entry is
+    /// `fn_name (file:line)`.
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
-    /// `file:line: [rule] message` followed by an indented help line.
+    /// `file:line: [rule] message` followed by an indented help line (and,
+    /// for graph rules, the call chain).
     pub fn render_human(&self) -> String {
-        format!(
+        let mut out = format!(
             "{}:{}: [{}] {}\n    help: {}",
             self.file, self.line, self.rule, self.message, self.suggestion
-        )
+        );
+        if !self.chain.is_empty() {
+            let _ = write!(out, "\n    via: {}", self.chain.join(" -> "));
+        }
+        out
     }
 }
 
@@ -110,24 +140,54 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders a full report (`qmclint/1` schema) as machine-readable JSON.
+///
+/// v2 additions are purely additive: a `by_rule` count object (every rule
+/// id, including the graph rules, at its count — the CI gate greps this to
+/// fail on any diagnostic class going nonzero) and a per-diagnostic
+/// `chain` array when a graph rule carries a call chain.
 pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
     let mut out = String::from("{\"schema\":\"qmclint/1\",");
     let _ = write!(out, "\"files_scanned\":{files_scanned},");
     let _ = write!(out, "\"diagnostics_total\":{},", diags.len());
-    out.push_str("\"diagnostics\":[");
+    out.push_str("\"by_rule\":{");
+    let all: Vec<Rule> = ALL_RULES
+        .iter()
+        .chain(GRAPH_RULES.iter())
+        .copied()
+        .chain([Rule::BadMarker])
+        .collect();
+    for (i, rule) in all.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let count = diags.iter().filter(|d| d.rule == *rule).count();
+        let _ = write!(out, "\"{rule}\":{count}");
+    }
+    out.push_str("},\"diagnostics\":[");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
-            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"suggestion\":\"{}\"}}",
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\"suggestion\":\"{}\"",
             json_escape(&d.file),
             d.line,
             d.rule,
             json_escape(&d.message),
             json_escape(&d.suggestion)
         );
+        if !d.chain.is_empty() {
+            out.push_str(",\"chain\":[");
+            for (j, hop) in d.chain.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", json_escape(hop));
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     out.push_str("]}");
     out
@@ -153,10 +213,32 @@ mod tests {
             rule: Rule::HotPath,
             message: "call to `unwrap()`".into(),
             suggestion: "don't".into(),
+            chain: Vec::new(),
         };
         let j = render_json(&[d], 1);
         assert!(j.contains("\\`unwrap()\\`") || j.contains("`unwrap()`"));
         assert!(j.contains("\"files_scanned\":1"));
         assert!(j.contains("\"rule\":\"hot-path\""));
+        assert!(j.contains("\"by_rule\":{"));
+        assert!(j.contains("\"hot-path\":1"));
+        assert!(j.contains("\"lock-order\":0"));
+    }
+
+    #[test]
+    fn chain_renders_in_both_formats() {
+        let d = Diagnostic {
+            file: "a.rs".into(),
+            line: 3,
+            rule: Rule::HotPathCall,
+            message: "reached alloc".into(),
+            suggestion: "hoist".into(),
+            chain: vec!["evaluate (a.rs:3)".into(), "helper (b.rs:9)".into()],
+        };
+        assert!(d
+            .render_human()
+            .contains("via: evaluate (a.rs:3) -> helper (b.rs:9)"));
+        let j = render_json(&[d], 2);
+        assert!(j.contains("\"chain\":[\"evaluate (a.rs:3)\",\"helper (b.rs:9)\"]"));
+        assert!(j.contains("\"hot-path-call\":1"));
     }
 }

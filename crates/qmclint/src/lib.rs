@@ -18,21 +18,38 @@
 //! 5. **determinism** — no wall clocks, OS entropy, or hash-map iteration
 //!    in physics crates.
 //!
+//! v2 adds a workspace [`model`] (function table + call graph over the
+//! token-tree parse) and three inter-procedural rules on top of it
+//! ([`graph_rules`]):
+//!
+//! 6. **hot-path-call** — allocation/panic anywhere in the transitive
+//!    callee set of a kernel entry point, reported with the call chain.
+//! 7. **precision-flow** — `f32` locals/returns folded into `f64`
+//!    accumulators without a designated promotion site.
+//! 8. **lock-order** — inconsistent lock-acquisition order among the
+//!    functions reachable from the crowd scheduler.
+//!
 //! Dependency-free by necessity (the registry is unreachable): the lexer
 //! is hand-rolled, and the configuration lives in [`config`] rather than a
 //! toml file. Exceptions are justified in-source via
 //! `// qmclint: allow(<rule>) — <reason>` markers; a marker without a
 //! reason is itself a diagnostic.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod diag;
+pub mod graph_rules;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 pub use config::{classify, FileClass};
-pub use diag::{render_json, Diagnostic, Rule, ALL_RULES};
+pub use diag::{render_json, Diagnostic, Rule, ALL_RULES, GRAPH_RULES};
+pub use model::WorkspaceModel;
 pub use rules::{check_kernel_coverage, lint_source, KernelUsage};
 
 /// Result of linting a whole workspace tree.
@@ -44,7 +61,15 @@ pub struct LintReport {
     pub files_scanned: usize,
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>, visited: &mut BTreeSet<PathBuf>) {
+    // Symlink-cycle guard: a directory is only descended once, identified
+    // by its canonical path.
+    let Ok(canon) = std::fs::canonicalize(dir) else {
+        return;
+    };
+    if !visited.insert(canon) {
+        return;
+    }
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -53,52 +78,77 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     for path in entries {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if path.is_dir() {
-            if matches!(name, "target" | ".git" | "node_modules") {
+            if config::SKIP_DIRS.contains(&name) {
                 continue;
             }
-            collect_rs_files(&path, out);
+            collect_rs_files(&path, out, visited);
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
         }
     }
 }
 
-/// Lints every non-exempt `.rs` file under `root` (the repo checkout) and
-/// runs the workspace-level kernel-coverage cross-check.
-pub fn lint_workspace(root: &Path) -> LintReport {
+/// Reads every `.rs` file under `root` (skipping [`config::SKIP_DIRS`] and
+/// symlink cycles) as `(repo-relative path, source)` pairs, exempt files
+/// included — callers classify. Public so audits (e.g. the
+/// `forbid(unsafe_code)` sweep test) can reuse the walker.
+pub fn collect_sources(root: &Path) -> Vec<(String, String)> {
     let mut files = Vec::new();
-    collect_rs_files(root, &mut files);
+    let mut visited = BTreeSet::new();
+    collect_rs_files(root, &mut files, &mut visited);
+    files
+        .into_iter()
+        .filter_map(|path| {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = std::fs::read_to_string(&path).ok()?;
+            Some((rel, src))
+        })
+        .collect()
+}
 
+/// Lints a set of `(repo-relative path, source)` files: the per-file
+/// lexical rules on each, then the workspace model and the graph rules
+/// over all of them together. [`lint_workspace`] feeds it the real tree;
+/// the multi-file graph fixtures feed it synthetic ones.
+pub fn lint_files(files: &[(String, String)]) -> LintReport {
     let mut report = LintReport::default();
     let mut usage = KernelUsage::default();
     let mut timer: Option<(String, String)> = None;
+    let mut model_input: Vec<(String, String, FileClass)> = Vec::new();
 
-    for path in &files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let class = classify(&rel);
+    for (rel, src) in files {
+        let class = classify(rel);
         if class.exempt {
             continue;
         }
-        let Ok(src) = std::fs::read_to_string(path) else {
-            continue;
-        };
         if rel == "crates/instrument/src/timer.rs" {
             timer = Some((rel.clone(), src.clone()));
         }
         report.files_scanned += 1;
-        lint_source(&rel, &src, class, &mut report.diagnostics, &mut usage);
+        lint_source(rel, src, class, &mut report.diagnostics, &mut usage);
+        model_input.push((rel.clone(), src.clone(), class));
     }
 
     if let Some((rel, src)) = &timer {
         check_kernel_coverage(rel, src, &usage, &mut report.diagnostics);
     }
 
+    let model = WorkspaceModel::build(&model_input);
+    graph_rules::check_graph(&model, &mut report.diagnostics);
+
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     report
+}
+
+/// Lints every non-exempt `.rs` file under `root` (the repo checkout),
+/// runs the workspace-level kernel-coverage cross-check and the v2 graph
+/// rules.
+pub fn lint_workspace(root: &Path) -> LintReport {
+    lint_files(&collect_sources(root))
 }

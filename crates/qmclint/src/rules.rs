@@ -20,7 +20,7 @@ use crate::lexer::{float_suffix, lex, Lexed, Tok, TokKind};
 /// The em-dash may also be spelled `--` or `-`. A missing or empty reason
 /// is itself a diagnostic: every suppression must carry a justification.
 #[derive(Debug, Default)]
-struct Allows {
+pub(crate) struct Allows {
     file_rules: Vec<Rule>,
     /// (rule, marker line, first code line at/after the marker).
     line_rules: Vec<(Rule, u32, u32)>,
@@ -28,7 +28,7 @@ struct Allows {
 }
 
 impl Allows {
-    fn allowed(&self, rule: Rule, line: u32) -> bool {
+    pub(crate) fn allowed(&self, rule: Rule, line: u32) -> bool {
         self.file_rules.contains(&rule)
             || self
                 .line_rules
@@ -36,7 +36,7 @@ impl Allows {
                 .any(|&(r, l, tgt)| r == rule && (l == line || tgt == line))
     }
 
-    fn cold_near(&self, fn_line: u32) -> bool {
+    pub(crate) fn cold_near(&self, fn_line: u32) -> bool {
         self.cold_lines
             .iter()
             .any(|&l| l <= fn_line && l + 3 >= fn_line)
@@ -65,7 +65,7 @@ fn first_code_line(tokens: &[Tok], marker: u32) -> u32 {
         .unwrap_or(marker)
 }
 
-fn parse_markers(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) -> Allows {
+pub(crate) fn parse_markers(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) -> Allows {
     let mut allows = Allows::default();
     for c in &lexed.comments {
         let Some(pos) = c.text.find("qmclint:") else {
@@ -81,6 +81,7 @@ fn parse_markers(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) -> Allo
                 suggestion: "write `qmclint: allow(<rule>) — <justification>` or \
                              `qmclint: cold — <justification>`"
                     .into(),
+                chain: Vec::new(),
             });
         };
         if let Some(rest) = directive.strip_prefix("cold") {
@@ -137,7 +138,7 @@ fn parse_markers(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) -> Allo
 
 /// Per-token mask: true when the token sits inside a `#[cfg(test)] mod`
 /// (or other `test`-attributed item) and should be ignored by every rule.
-fn test_mask(tokens: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_mask(tokens: &[Tok]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -226,14 +227,16 @@ fn test_mask(tokens: &[Tok]) -> Vec<bool> {
 
 /// A function span in the token stream.
 #[derive(Debug)]
-struct FnSpan {
-    name: String,
-    line: u32,
+pub(crate) struct FnSpan {
+    pub(crate) name: String,
+    pub(crate) line: u32,
+    /// Token index of the `fn` keyword (signature start).
+    pub(crate) sig: usize,
     /// Token index of the opening `{` (body), if the fn has one.
-    body: Option<(usize, usize)>,
+    pub(crate) body: Option<(usize, usize)>,
 }
 
-fn fn_spans(tokens: &[Tok]) -> Vec<FnSpan> {
+pub(crate) fn fn_spans(tokens: &[Tok]) -> Vec<FnSpan> {
     let mut spans = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -274,11 +277,46 @@ fn fn_spans(tokens: &[Tok]) -> Vec<FnSpan> {
                 }
                 j += 1;
             }
-            spans.push(FnSpan { name, line, body });
+            spans.push(FnSpan {
+                name,
+                line,
+                sig: i,
+                body,
+            });
         }
         i += 1;
     }
     spans
+}
+
+/// Classifies token `i` as a hot-path violation site. Returns the
+/// offending name and `true` when it is panic machinery (vs allocation).
+/// Shared between the per-file hot-path rule and the call-graph model
+/// (which records these sites in *every* function so the inter-procedural
+/// rule can find them in transitive callees).
+pub(crate) fn hot_site(tokens: &[Tok], i: usize) -> Option<(&str, bool)> {
+    let t = &tokens[i];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+    let next_bang = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+    let next_paren = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+    let path_new = tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        && tokens
+            .get(i + 3)
+            .is_some_and(|n| n.is_ident("new") || n.is_ident("with_capacity"));
+    match t.text.as_str() {
+        "unwrap" | "expect" if prev_dot && next_paren => Some((t.text.as_str(), true)),
+        "panic" | "todo" | "unimplemented" if next_bang => Some((t.text.as_str(), true)),
+        "format" | "vec" if next_bang => Some((t.text.as_str(), false)),
+        "collect" | "push" | "clone" | "to_vec" | "to_string" if prev_dot && next_paren => {
+            Some((t.text.as_str(), false))
+        }
+        "Vec" | "Box" | "String" if path_new => Some((t.text.as_str(), false)),
+        _ => None,
+    }
 }
 
 /// Kernel-enum usage collected across files for the timer cross-check.
@@ -319,6 +357,7 @@ pub fn lint_source(
                 rule,
                 message,
                 suggestion,
+                chain: Vec::new(),
             });
         }
     };
@@ -387,57 +426,31 @@ pub fn lint_source(
             if mask[b0] || is_cold_fn_name(&span.name) || allows.cold_near(span.line) {
                 continue;
             }
-            let mut i = b0;
-            while i <= b1 {
+            for i in b0..=b1 {
                 let t = &tokens[i];
-                if t.kind == TokKind::Ident {
-                    let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
-                    let next_bang = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
-                    let next_paren = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
-                    let path_new = tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
-                        && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
-                        && tokens
-                            .get(i + 3)
-                            .is_some_and(|n| n.is_ident("new") || n.is_ident("with_capacity"));
-                    let (what, kind): (&str, &str) = match t.text.as_str() {
-                        "unwrap" | "expect" if prev_dot && next_paren => (t.text.as_str(), "panic"),
-                        "panic" | "todo" | "unimplemented" if next_bang => {
-                            (t.text.as_str(), "panic")
-                        }
-                        "format" | "vec" if next_bang => (t.text.as_str(), "alloc"),
-                        "collect" | "push" | "clone" | "to_vec" | "to_string"
-                            if prev_dot && next_paren =>
-                        {
-                            (t.text.as_str(), "alloc")
-                        }
-                        "Vec" | "Box" | "String" if path_new => (t.text.as_str(), "alloc"),
-                        _ => ("", ""),
+                if let Some((what, is_panic)) = hot_site(tokens, i) {
+                    let (msg, help) = if is_panic {
+                        (
+                            format!(
+                                "`{what}` in hot kernel fn `{}` can panic/abort mid-sweep",
+                                span.name
+                            ),
+                            "handle the condition without unwinding, mark the fn \
+                             `// qmclint: cold — <why>` if it is setup, or justify with \
+                             `// qmclint: allow(hot-path) — <why>`"
+                                .to_string(),
+                        )
+                    } else {
+                        (
+                            format!("`{what}` allocates inside hot kernel fn `{}`", span.name),
+                            "hoist into a preallocated scratch buffer, mark the fn \
+                             `// qmclint: cold — <why>` if it is setup, or justify with \
+                             `// qmclint: allow(hot-path) — <why>`"
+                                .to_string(),
+                        )
                     };
-                    if !what.is_empty() {
-                        let (msg, help) = if kind == "panic" {
-                            (
-                                format!(
-                                    "`{what}` in hot kernel fn `{}` can panic/abort mid-sweep",
-                                    span.name
-                                ),
-                                "handle the condition without unwinding, mark the fn \
-                                 `// qmclint: cold — <why>` if it is setup, or justify with \
-                                 `// qmclint: allow(hot-path) — <why>`"
-                                    .to_string(),
-                            )
-                        } else {
-                            (
-                                format!("`{what}` allocates inside hot kernel fn `{}`", span.name),
-                                "hoist into a preallocated scratch buffer, mark the fn \
-                                 `// qmclint: cold — <why>` if it is setup, or justify with \
-                                 `// qmclint: allow(hot-path) — <why>`"
-                                    .to_string(),
-                            )
-                        };
-                        push(diags, Rule::HotPath, t.line, msg, help);
-                    }
+                    push(diags, Rule::HotPath, t.line, msg, help);
                 }
-                i += 1;
             }
         }
     }
@@ -555,6 +568,7 @@ pub fn check_kernel_coverage(
             rule: Rule::TimerCoverage,
             message: "could not locate `enum Kernel` for the coverage cross-check".into(),
             suggestion: "keep the kernel taxonomy in crates/instrument/src/timer.rs".into(),
+            chain: Vec::new(),
         });
         return;
     };
@@ -586,6 +600,7 @@ pub fn check_kernel_coverage(
                         suggestion: "time the kernel somewhere (`time_kernel(Kernel::...)`) \
                                      or remove the dead profile category"
                             .into(),
+                        chain: Vec::new(),
                     });
                 }
             }

@@ -1,0 +1,19 @@
+// fixture-class: kernel,physics
+//! An allow marker whose justification wraps over several comment lines
+//! must still attach to the next code line, even with raw-string and
+//! char-literal noise between other statements.
+
+pub fn evaluate_wrapped(x: f64, ticks: &[u64]) -> f64 {
+    let plan = r#"phase one // phase two
+        phase three"#;
+    // qmclint: allow(precision-cast) — the SIMD gather path needs a
+    // concrete narrowing at this one site; the justification wraps
+    // across three comment lines before the code it covers.
+    let narrowed = x as f32;
+    let sep = '/';
+    // qmclint: allow(hot-path) — fixture: bounded lookup, never grows
+    // beyond the preallocated tick table.
+    let first = ticks.first().unwrap();
+    let _ = (plan, sep, first);
+    f64::from(narrowed)
+}

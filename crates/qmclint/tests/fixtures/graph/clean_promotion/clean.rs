@@ -1,0 +1,30 @@
+// fixture-path: crates/drivers/src/clean_fixture.rs
+//! Clean case: the same shapes as the violation fixtures, made legal the
+//! intended ways — explicit promotion, a cold callee, a justified allow
+//! marker, and one consistent lock order.
+
+fn cheap_energy() -> f32 {
+    0.5
+}
+
+/// Promotion through `f64::from` is the designated widening site.
+pub fn accumulate(n: usize) -> f64 {
+    let mut total: f64 = 0.0;
+    for _ in 0..n {
+        let e = cheap_energy();
+        total += f64::from(e);
+    }
+    total
+}
+
+/// Consistent `counts` -> `profile` order everywhere: no contradiction.
+pub fn merge_one(s: &Shared) {
+    let c = s.counts.lock();
+    s.profile.lock().merge(&c);
+}
+
+/// Same pair, same order, different function.
+pub fn merge_two(s: &Shared) {
+    let c = s.counts.lock();
+    s.profile.lock().merge(&c);
+}

@@ -1,0 +1,11 @@
+// fixture-path: crates/wavefunction/src/jastrow/entry.rs
+//! Seeded bug: a hot kernel entry with a clean body whose transitive
+//! callee set (two hops, crossing into a non-kernel file) allocates.
+
+/// Kernel entry point: nothing allocates *here*, so the per-file
+/// `hot-path` rule stays silent — only the call-graph walk can see the
+/// `collect` two frames down in `util.rs`.
+pub fn evaluate_chain(n: usize) -> usize {
+    let scratch = helper_accum(n); //~ hot-path-call
+    scratch.len()
+}

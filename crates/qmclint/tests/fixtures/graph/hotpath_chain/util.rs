@@ -1,0 +1,15 @@
+// fixture-path: crates/wavefunction/src/util.rs
+//! Non-kernel helper module: the per-file hot-path rule does not apply
+//! here, but the allocation is reachable from `evaluate_chain` and must
+//! be reported at the kernel's call site with the full chain.
+
+/// First hop: delegates.
+pub fn helper_accum(n: usize) -> Vec<u64> {
+    middle(n)
+}
+
+/// Second hop: allocates (exactly one hot site, so the expectation count
+/// at the kernel call site stays exact).
+fn middle(n: usize) -> Vec<u64> {
+    (0..n).map(|i| i as u64).collect()
+}

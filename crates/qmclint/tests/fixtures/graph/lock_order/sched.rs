@@ -1,0 +1,9 @@
+// fixture-path: crates/crowd/src/sched_fixture.rs
+//! Seeded bug: the generation loop takes `counts` before `profile`...
+
+/// Acquires `counts`, then `profile` while the first guard is held.
+pub fn generation(s: &Shared) {
+    let mut c = s.counts.lock();
+    c.bump();
+    s.profile.lock().merge(&c); //~ lock-order
+}

@@ -1,0 +1,9 @@
+// fixture-path: crates/crowd/src/stats_fixture.rs
+//! ...while the stats snapshot takes `profile` before `counts`: the
+//! classic ABBA deadlock, visible only across the two functions.
+
+/// Acquires `profile`, then `counts` while the first guard is held.
+pub fn snapshot(s: &Shared) {
+    let p = s.profile.lock();
+    s.counts.lock().read_into(&p);
+}

@@ -1,0 +1,36 @@
+// fixture-path: crates/drivers/src/acc.rs
+//! Seeded bug: an `f32`-returning helper feeding an `f64` ensemble
+//! accumulator with no promotion site — exactly the mixed-precision
+//! hazard of the paper's §7.2 the dataflow rule exists for.
+
+/// Narrow-precision helper (designated `-> f32` return).
+fn cheap_energy() -> f32 {
+    0.5
+}
+
+/// The ensemble accumulator: `e` carries an f32 value into the f64 sum
+/// without `f64::from` / `.to_f64()`.
+pub fn accumulate(n: usize) -> f64 {
+    let mut total: f64 = 0.0;
+    for _ in 0..n {
+        let e = cheap_energy();
+        total += e; //~ precision-flow
+    }
+    total
+}
+
+/// A directly-typed f32 local flowing in is caught the same way.
+pub fn accumulate_typed(es: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    for &x in es {
+        let e: f32 = narrow(x);
+        total += e; //~ precision-flow
+    }
+    total
+}
+
+fn narrow(x: f64) -> f32 {
+    // qmclint: allow(precision-cast) — fixture helper, the cast is not
+    // what this case is about.
+    x as f32
+}

@@ -1,0 +1,19 @@
+// fixture-class: kernel,physics
+//! Lexer stress: nested block comments, raw strings and comment-lookalike
+//! literals must neither leak tokens into the rules nor desync the line
+//! counter — the two real violations below must land on exact lines.
+
+/* outer /* nested block comment: unwrap() as f32 SystemTime */ spanning
+   a second line, still inside the outer comment */
+pub fn evaluate_edges(x: f64, flags: &[u64]) -> f64 {
+    let raw = r#"as f32
+        // qmclint: allow(precision-cast) — inert: raw strings are not comments
+        "nested quotes" .unwrap() thread_rng"#;
+    let hashed = r##"closes with "# only at two hashes // still string"##;
+    let slash = '/';
+    let double = "// not a comment, tokens must keep flowing after it";
+    let narrowed = x as f32; //~ precision-cast
+    let first = flags.first().unwrap(); //~ hot-path
+    let _ = (raw, hashed, slash, double, first);
+    f64::from(narrowed)
+}

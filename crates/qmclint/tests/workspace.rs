@@ -25,3 +25,41 @@ fn repository_lints_clean() {
         rendered.join("\n")
     );
 }
+
+/// Every crate without real `unsafe` must carry `#![forbid(unsafe_code)]`,
+/// and the set of crates that do use `unsafe` must not silently grow.
+/// (`shims/` is outside the scan — `config::SKIP_DIRS` excludes it, so the
+/// vendored stand-ins are audited by eye, not by this test.)
+#[test]
+fn unsafe_audit_forbids_everywhere_it_can() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let classified: Vec<(String, String, qmclint::FileClass)> = qmclint::collect_sources(&root)
+        .into_iter()
+        .map(|(path, src)| {
+            let class = qmclint::classify(&path);
+            (path, src, class)
+        })
+        .collect();
+    let model = qmclint::WorkspaceModel::build(&classified);
+
+    let missing = model.missing_forbid_unsafe();
+    assert!(
+        missing.is_empty(),
+        "crates with no `unsafe` but no `#![forbid(unsafe_code)]`: {missing:?}"
+    );
+
+    let mut unsafe_crates: Vec<&str> = model
+        .files
+        .iter()
+        .filter(|f| f.has_unsafe && !f.path.contains("/tests/"))
+        .map(|f| f.crate_key.as_str())
+        .collect();
+    unsafe_crates.sort_unstable();
+    unsafe_crates.dedup();
+    assert_eq!(
+        unsafe_crates,
+        ["crates/containers/", "crates/instrument/"],
+        "the set of crates using `unsafe` changed — update this audit \
+         deliberately, not by accident"
+    );
+}

@@ -1,0 +1,377 @@
+//! # qmcsched — deterministic schedule checker for the QMC drivers
+//!
+//! The lock-step crowd drivers and the per-walker thread crews claim a
+//! strong property: results are **bitwise independent of the thread
+//! schedule**, because every walker carries its own RNG stream and every
+//! cross-walker reduction happens sequentially in walker order after the
+//! parallel section. PR 1's tests exercised that claim only under the
+//! schedules the OS happened to produce. This crate makes the claim a
+//! checked artifact, loom-style but sized to our in-tree shims: the rayon
+//! shim's work distribution is replaced by an explicitly enumerated /
+//! seeded set of thread interleavings (`rayon::schedule`), the same run is
+//! repeated under each, and every per-walker result must come out
+//! identical to the bit.
+//!
+//! Two layers consume it:
+//!
+//! * `cargo test -p qmcsched` — the parity tests CI gates on.
+//! * the `qmcsched` binary — emits a `qmcsched/1` JSON report (same
+//!   hand-rolled writer as the run report) for the observability pipeline.
+
+#![forbid(unsafe_code)]
+
+use qmc_containers::Real;
+use qmc_crowd::{run_dmc_crowd, CrowdScheduler};
+use qmc_drivers::{
+    initial_population, run_dmc_parallel, run_vmc_parallel, Batching, DmcParams, QmcEngine,
+    VmcParams, Walker,
+};
+use qmc_instrument::json::JsonWriter;
+use qmc_workloads::{Benchmark, CodeVersion, Size, Workload};
+use rayon::schedule::{with_schedule, Order, Schedule};
+
+/// The explored schedule set: one free-running control plus serialized and
+/// staggered permutations of the task order. Ten schedules, all with
+/// distinct labels; the serialized orders are pairwise-distinct
+/// permutations for any task count ≥ 4 (asserted in the tests).
+pub fn schedules() -> Vec<Schedule> {
+    vec![
+        Schedule::Concurrent,
+        Schedule::Serial(Order::Forward),
+        Schedule::Serial(Order::Reverse),
+        Schedule::Serial(Order::Rotate(1)),
+        Schedule::Serial(Order::Rotate(3)),
+        Schedule::Serial(Order::EvenOdd),
+        Schedule::Serial(Order::Shuffle(0xA5A5)),
+        Schedule::Serial(Order::Shuffle(0x0FF1CE)),
+        Schedule::Staggered(Order::Reverse),
+        Schedule::Staggered(Order::Shuffle(0xBEEF)),
+    ]
+}
+
+/// FNV-1a 64-bit, folding in raw little-endian bytes: the digest is a pure
+/// function of the bit patterns, so equal digests mean bitwise-equal state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    /// Fresh digest at the FNV offset basis.
+    pub fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= u64::from(x);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Folds an `f64` by bit pattern (NaN-safe, sign-preserving).
+    pub fn f64(&mut self, x: f64) {
+        self.bytes(&x.to_bits().to_le_bytes());
+    }
+
+    /// Folds a `u64`.
+    pub fn u64(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    /// The digest value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bitwise digest of one walker: positions, statistical weights, age and
+/// the cached per-walker scalars. The RNG stream is deliberately left out
+/// (its state advances identically, but digesting it would require the
+/// serializer, which re-keys the stream).
+pub fn walker_digest<T: Real>(w: &Walker<T>) -> u64 {
+    let mut h = Fnv::new();
+    for p in &w.r {
+        for d in 0..3 {
+            h.f64(p[d]);
+        }
+    }
+    h.f64(w.weight);
+    h.f64(w.multiplicity);
+    h.u64(w.age as u64);
+    h.f64(w.e_local);
+    h.f64(w.log_psi);
+    h.value()
+}
+
+/// Outcome of one driver run under one schedule: per-walker digests plus
+/// the driver's scalar outputs (all compared bitwise).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunFingerprint {
+    /// Schedule label the run executed under.
+    pub schedule: String,
+    /// One digest per surviving walker, in walker order.
+    pub walkers: Vec<u64>,
+    /// Driver scalar outputs folded into one digest (energy mean bits,
+    /// acceptance bits, sample count).
+    pub scalars: u64,
+}
+
+/// Parity verdict for one driver across the whole schedule set.
+#[derive(Clone, Debug)]
+pub struct DriverParity {
+    /// Driver label (`vmc-parallel`, `dmc-parallel`, `dmc-crowd`).
+    pub driver: String,
+    /// One fingerprint per explored schedule.
+    pub runs: Vec<RunFingerprint>,
+}
+
+impl DriverParity {
+    /// True when every run produced bitwise-identical per-walker digests
+    /// and scalar outputs.
+    pub fn parity(&self) -> bool {
+        self.runs
+            .windows(2)
+            .all(|w| w[0].walkers == w[1].walkers && w[0].scalars == w[1].scalars)
+    }
+}
+
+/// Harness problem size: small enough for CI, uneven enough to exercise
+/// ragged chunking (walkers not divisible by threads or crowd size).
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessConfig {
+    /// Worker threads (tasks per scope — the unit the schedules permute).
+    pub threads: usize,
+    /// Walker population.
+    pub walkers: usize,
+    /// DMC generations / VMC blocks.
+    pub steps: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            walkers: 7,
+            steps: 4,
+            seed: 99,
+        }
+    }
+}
+
+fn workload(seed: u64) -> Workload {
+    Workload::new(Benchmark::Graphite, Size::Scaled, seed)
+}
+
+/// Runs the parallel VMC driver once under each schedule.
+pub fn explore_vmc(cfg: &HarnessConfig) -> DriverParity {
+    let w = workload(cfg.seed);
+    let params = VmcParams {
+        blocks: cfg.steps,
+        steps_per_block: 3,
+        tau: 0.3,
+        measure_every: 1,
+        batching: Batching::PerWalker,
+    };
+    let runs = schedules()
+        .into_iter()
+        .map(|sched| {
+            with_schedule(sched, || {
+                let mut engines: Vec<QmcEngine<f32>> = (0..cfg.threads)
+                    .map(|_| w.build_engine_f32(CodeVersion::Current))
+                    .collect();
+                let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
+                let res = run_vmc_parallel(&mut engines, &mut walkers, &params);
+                let mut scalars = Fnv::new();
+                scalars.f64(res.energy.mean());
+                scalars.f64(res.acceptance);
+                scalars.u64(res.samples);
+                RunFingerprint {
+                    schedule: sched.label(),
+                    walkers: walkers.iter().map(walker_digest).collect(),
+                    scalars: scalars.value(),
+                }
+            })
+        })
+        .collect();
+    DriverParity {
+        driver: "vmc-parallel".into(),
+        runs,
+    }
+}
+
+fn dmc_params(cfg: &HarnessConfig, batching: Batching) -> DmcParams {
+    DmcParams {
+        steps: cfg.steps,
+        warmup: 1,
+        tau: 0.003,
+        target_population: cfg.walkers,
+        recompute_every: 2,
+        seed: cfg.seed ^ 0xD00D,
+        batching,
+    }
+}
+
+fn dmc_fingerprint<T: Real>(
+    sched: Schedule,
+    walkers: &[Walker<T>],
+    res: &qmc_drivers::DmcResult,
+) -> RunFingerprint {
+    let mut scalars = Fnv::new();
+    scalars.f64(res.energy.mean());
+    scalars.f64(res.acceptance);
+    scalars.f64(res.e_trial);
+    scalars.u64(res.samples);
+    for &p in &res.population {
+        scalars.u64(p as u64);
+    }
+    RunFingerprint {
+        schedule: sched.label(),
+        walkers: walkers.iter().map(walker_digest).collect(),
+        scalars: scalars.value(),
+    }
+}
+
+/// Runs the per-walker parallel DMC driver once under each schedule.
+pub fn explore_dmc_parallel(cfg: &HarnessConfig) -> DriverParity {
+    let w = workload(cfg.seed);
+    let params = dmc_params(cfg, Batching::PerWalker);
+    let runs = schedules()
+        .into_iter()
+        .map(|sched| {
+            with_schedule(sched, || {
+                let mut engines: Vec<QmcEngine<f32>> = (0..cfg.threads)
+                    .map(|_| w.build_engine_f32(CodeVersion::Current))
+                    .collect();
+                let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
+                let (res, _profile) = run_dmc_parallel(&mut engines, &mut walkers, &params);
+                dmc_fingerprint(sched, &walkers, &res)
+            })
+        })
+        .collect();
+    DriverParity {
+        driver: "dmc-parallel".into(),
+        runs,
+    }
+}
+
+/// Runs the lock-step crowd DMC driver once under each schedule.
+pub fn explore_dmc_crowd(cfg: &HarnessConfig) -> DriverParity {
+    let w = workload(cfg.seed);
+    let params = dmc_params(cfg, Batching::Crowd(2));
+    let runs = schedules()
+        .into_iter()
+        .map(|sched| {
+            with_schedule(sched, || {
+                let scheduler = CrowdScheduler::new(cfg.threads, 2);
+                let mut crowds =
+                    scheduler.build_crowds(|| w.build_engine_f32(CodeVersion::Current));
+                let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
+                let (res, _profile) = run_dmc_crowd(&mut crowds, &mut walkers, &params);
+                dmc_fingerprint(sched, &walkers, &res)
+            })
+        })
+        .collect();
+    DriverParity {
+        driver: "dmc-crowd".into(),
+        runs,
+    }
+}
+
+/// Runs every driver exploration at the default harness size.
+pub fn explore_all(cfg: &HarnessConfig) -> Vec<DriverParity> {
+    vec![
+        explore_vmc(cfg),
+        explore_dmc_parallel(cfg),
+        explore_dmc_crowd(cfg),
+    ]
+}
+
+/// Renders the exploration outcome as a `qmcsched/1` JSON report (the same
+/// hand-rolled writer the run report uses).
+pub fn render_json(results: &[DriverParity]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_obj();
+    w.key("schema").str_val("qmcsched/1");
+    w.key("parity")
+        .bool_val(results.iter().all(DriverParity::parity));
+    w.key("drivers").begin_arr();
+    for r in results {
+        w.begin_obj();
+        w.key("driver").str_val(&r.driver);
+        w.key("schedules_explored").u64_val(r.runs.len() as u64);
+        w.key("parity").bool_val(r.parity());
+        w.key("runs").begin_arr();
+        for run in &r.runs {
+            w.begin_obj();
+            w.key("schedule").str_val(&run.schedule);
+            w.key("walkers").u64_val(run.walkers.len() as u64);
+            let mut digest = Fnv::new();
+            for &d in &run.walkers {
+                digest.u64(d);
+            }
+            digest.u64(run.scalars);
+            w.key("fingerprint")
+                .str_val(&format!("{:016x}", digest.value()));
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+    }
+    w.end_arr();
+    w.end_obj();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        let mut a = Fnv::new();
+        a.f64(1.0);
+        a.f64(2.0);
+        let mut b = Fnv::new();
+        b.f64(2.0);
+        b.f64(1.0);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn schedule_labels_are_distinct() {
+        let s = schedules();
+        assert!(s.len() >= 8, "need at least 8 explored schedules");
+        let mut labels: Vec<String> = s.iter().map(|s| s.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), s.len(), "duplicate schedule labels");
+    }
+
+    #[test]
+    fn serial_orders_are_distinct_permutations_at_harness_width() {
+        // The harness spawns `threads` (default 4) tasks per scope plus
+        // ragged chunk counts; the serialized orders must be genuinely
+        // different interleavings at those widths.
+        for n in [4usize, 5, 6] {
+            let mut perms: Vec<Vec<usize>> = schedules()
+                .into_iter()
+                .filter_map(|s| match s {
+                    Schedule::Serial(o) => Some(o.permutation(n)),
+                    _ => None,
+                })
+                .collect();
+            let total = perms.len();
+            perms.sort();
+            perms.dedup();
+            assert_eq!(perms.len(), total, "colliding serial orders at n={n}");
+        }
+    }
+}

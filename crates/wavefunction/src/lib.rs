@@ -14,6 +14,7 @@
 //! [`TrialWaveFunction`] composes components behind the protocol defined in
 //! [`traits`].
 
+#![forbid(unsafe_code)]
 // Indexed loops over multiple parallel slices are the deliberate idiom in
 // the SIMD kernels (mirrors the paper's C++ and keeps the auto-vectorizer's
 // job obvious); iterator zips would obscure them.

@@ -8,6 +8,8 @@
 //! shared DMC benchmark runner reporting throughput, kernel profiles and
 //! memory accounting.
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod run;
 pub mod spec;

@@ -9,6 +9,7 @@
 //!   `<substring>` only run benchmarks whose id contains the substring
 //! Unknown `--flags` are ignored so harness flags cargo forwards are safe.
 
+#![forbid(unsafe_code)]
 // Vendored stand-in: the API shape (names, signatures, by-value arguments)
 // mirrors the external crate verbatim, so pedantic style lints don't apply.
 #![allow(clippy::pedantic)]

@@ -7,6 +7,7 @@
 //! failures reproduce exactly on re-run; there is no shrinking, the failing
 //! case's seed is printed instead.
 
+#![forbid(unsafe_code)]
 // Vendored stand-in: the API shape (names, signatures, by-value arguments)
 // mirrors the external crate verbatim, so pedantic style lints don't apply.
 #![allow(clippy::pedantic)]

@@ -11,6 +11,7 @@
 //! are part of the reproducibility contract), which an in-tree generator
 //! guarantees better than a registry dependency ever could.
 
+#![forbid(unsafe_code)]
 // Vendored stand-in: the API shape (names, signatures, by-value arguments)
 // mirrors the external crate verbatim, so pedantic style lints don't apply.
 #![allow(clippy::pedantic)]

@@ -2,14 +2,58 @@
 //!
 //! Provides the tiny slice-parallelism surface the workspace uses
 //! (`par_chunks_mut().enumerate().for_each`, `par_chunks_mut().zip(par_iter())
-//! .for_each`) on top of `std::thread::scope`. Work is split into one
-//! contiguous block per hardware thread; closures must be `Sync` exactly as
-//! with real rayon, so swapping the registry crate back in is a one-line
-//! manifest change.
+//! .for_each`) plus the scoped task API (`scope(|s| s.spawn(...))`) on top
+//! of `std::thread::scope`. Work is split into one contiguous block per
+//! hardware thread; closures must be `Sync` exactly as with real rayon, so
+//! swapping the registry crate back in is a one-line manifest change.
+//!
+//! Unlike real rayon, every parallel construct routes its task set through
+//! [`schedule::run_tasks`], so the `qmcsched` harness can replace the free
+//! OS interleaving with explicitly enumerated deterministic schedules (see
+//! [`schedule`]).
 
 // Vendored stand-in: the API shape (names, signatures, by-value arguments)
 // mirrors the external crate verbatim, so pedantic style lints don't apply.
 #![allow(clippy::pedantic)]
+#![forbid(unsafe_code)]
+
+pub mod schedule;
+
+/// A scoped task set, after `rayon::Scope`: tasks spawned here are
+/// guaranteed to complete before [`scope`] returns.
+///
+/// Tasks are collected and launched together when the scope closure
+/// returns, so the active [`schedule::Schedule`] sees the whole task set at
+/// once (real rayon starts them eagerly; none of our call sites observe the
+/// difference — the spawning loop does no other work).
+pub struct Scope<'scope> {
+    tasks: std::cell::RefCell<Vec<Box<dyn FnOnce() + Send + 'scope>>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `body` for execution within this scope.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.tasks.borrow_mut().push(Box::new(body));
+    }
+}
+
+/// Creates a scope for spawning borrowing tasks; all spawned tasks finish
+/// before the call returns. Mirrors `rayon::scope` for the no-argument
+/// closure shape the workspace uses.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        tasks: std::cell::RefCell::new(Vec::new()),
+    };
+    let r = f(&s);
+    schedule::run_tasks(s.tasks.into_inner());
+    r
+}
 
 /// An eagerly collected "parallel iterator": items are distributed over a
 /// scoped thread crew at the terminal `for_each`.
@@ -52,15 +96,17 @@ impl<I: Send> ParIter<I> {
             blocks.push(std::mem::replace(&mut items, tail));
         }
         let f = &f;
-        std::thread::scope(|scope| {
-            for block in blocks {
-                scope.spawn(move || {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = blocks
+            .into_iter()
+            .map(|block| {
+                Box::new(move || {
                     for item in block {
                         f(item);
                     }
-                });
-            }
-        });
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        schedule::run_tasks(tasks);
     }
 }
 
