@@ -20,7 +20,10 @@ grep -q '"diagnostics_total":0' QMCLINT.json
 rm -f QMCLINT.json
 
 echo "== build (release) =="
-cargo build --release
+# --workspace matters: the repo root is itself a package, so a bare
+# `cargo build` would build only it and later stages would run stale
+# `target/release` binaries (miniqmc, json_check, ...).
+cargo build --release --workspace
 
 echo "== tests =="
 cargo test -q --workspace
@@ -31,13 +34,43 @@ cargo test -q -p qmc-drivers --features checked
 echo "== qmcsched (deterministic schedule parity, VMC + DMC) =="
 cargo run --release -q -p qmcsched > /dev/null
 
-echo "== bench snapshot (BENCH_pr5.json) =="
+echo "== kernel backend verification (all backends, no silent skips) =="
+# kernel_verify prints one `status=ok` line per backend it actually ran;
+# a backend that is silently skipped (e.g. simd unavailable) without its
+# own log line fails the gate.
+cargo run --release -q -p qmc-kernels --bin kernel_verify | tee KERNEL_VERIFY.log
+for backend in reference soa simd; do
+    grep -q "kernel-verify: backend=${backend} .*status=ok" KERNEL_VERIFY.log || {
+        echo "ci: backend '${backend}' missing from kernel_verify output (silent skip?)" >&2
+        exit 1
+    }
+done
+rm -f KERNEL_VERIFY.log
+
+echo "== bench snapshot (BENCH_pr6.json) =="
 cargo run --release -q -p qmc-bench --bin bench_snapshot -- \
-    --threads 2 --walkers 4 --steps 4 --reps 1 > BENCH_pr5.json
-grep -q '"schema":"qmc-bench-snapshot/1"' BENCH_pr5.json
+    --threads 2 --walkers 4 --steps 4 --reps 2 > BENCH_pr6.json
+grep -q '"schema":"qmc-bench-snapshot/2"' BENCH_pr6.json
+# The crowd run must exercise the fused multi-walker spline kernel: a
+# zero `Bspline-mw-vgl` column means the batched path silently fell back.
+python3 - <<'EOF'
+import json
+doc = json.load(open("BENCH_pr6.json"))
+crowd = [r for r in doc["runs"] if r["batching"] == "crowd"]
+assert crowd, "no crowd-batched run in BENCH_pr6.json"
+mw = crowd[0]["kernels"]["Bspline-mw-vgl"]
+assert mw > 0.0, f"Bspline-mw-vgl is {mw}: the crowd run did not drive the batched kernel"
+print(f"ci: crowd Bspline-mw-vgl = {mw:.4f}s (nonzero, batched path live)")
+EOF
+
+echo "== bench series gate (vs previous PR snapshot) =="
+cargo run --release -q -p qmc-bench --bin bench_compare -- BENCH_pr5.json BENCH_pr6.json
 
 echo "== bench smoke (crowd kernels) =="
 cargo bench -p qmc-bench --bench bench_crowd -- --test
+
+echo "== bench smoke (backend kernel benches) =="
+cargo bench -p qmc-bench --bench bench_kernels -- --test
 
 echo "== run-report smoke (miniqmc --profile json) =="
 ./target/release/miniqmc --benchmark graphite --threads 1 --walkers 2 \

@@ -1,0 +1,113 @@
+//! Criterion bench: per-backend coverage of the `qmc-kernels` dispatch
+//! points — every [`Backend`] times every extracted kernel family
+//! (B-spline v/vgh/mw-vgl, distance rows, J2 accumulation), so a backend
+//! regression shows up in the same Criterion series the cross-backend
+//! verifier gates for correctness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qmc_bspline::MultiBspline3D;
+use qmc_kernels::bspline::{evaluate_v, evaluate_vgh, mw_evaluate_vgl};
+use qmc_kernels::distance::distance_row;
+use qmc_kernels::jastrow::j2_row_vgl;
+use qmc_kernels::Backend;
+use qmc_particles::CrystalLattice;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_bspline_backends(c: &mut Criterion) {
+    let ns = 128;
+    let table = MultiBspline3D::<f64>::random([16, 16, 16], ns, 11);
+    let view = table.view();
+    let gmat = [[0.31, 0.0, 0.0], [0.02, 0.27, 0.0], [0.0, 0.01, 0.22]];
+    let lapmet = [0.10, 0.09, 0.05, 0.01, 0.02, 0.005];
+    let mut rng = StdRng::seed_from_u64(5);
+    let points: Vec<[f64; 3]> = (0..16)
+        .map(|_| [rng.random(), rng.random(), rng.random()])
+        .collect();
+    let nw = points.len();
+
+    let mut group = c.benchmark_group(format!("kernels_bspline_ns{ns}"));
+    for b in Backend::ALL {
+        let mut psi = vec![0.0; ns];
+        let mut idx = 0usize;
+        group.bench_function(BenchmarkId::new("v", b.label()), |bench| {
+            bench.iter(|| {
+                idx = (idx + 1) % nw;
+                evaluate_v(b, &view, points[idx], &mut psi);
+                black_box(&psi);
+            });
+        });
+        let (mut p, mut g, mut h) = (vec![0.0; ns], vec![0.0; 3 * ns], vec![0.0; 6 * ns]);
+        group.bench_function(BenchmarkId::new("vgh", b.label()), |bench| {
+            bench.iter(|| {
+                idx = (idx + 1) % nw;
+                evaluate_vgh(b, &view, points[idx], &mut p, &mut g, &mut h);
+                black_box(&p);
+            });
+        });
+        let (mut pw, mut gw, mut lw) = (
+            vec![0.0; nw * ns],
+            vec![0.0; 3 * nw * ns],
+            vec![0.0; nw * ns],
+        );
+        group.bench_function(BenchmarkId::new("mw_vgl", b.label()), |bench| {
+            bench.iter(|| {
+                mw_evaluate_vgl(b, &view, &points, &gmat, &lapmet, &mut pw, &mut gw, &mut lw);
+                black_box(&pw);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distance_backends(c: &mut Criterion) {
+    let n = 256;
+    let cell = CrystalLattice::<f64>::orthorhombic([6.0, 7.0, 8.0]);
+    let mut rng = StdRng::seed_from_u64(7);
+    let xs: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 6.0).collect();
+    let ys: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 7.0).collect();
+    let zs: Vec<f64> = (0..n).map(|_| rng.random::<f64>() * 8.0).collect();
+    let pos = [1.2, 5.1, 3.3];
+
+    let mut group = c.benchmark_group(format!("kernels_distance_n{n}"));
+    for b in Backend::ALL {
+        let mut dist = vec![0.0; n];
+        let mut disp = [vec![0.0; n], vec![0.0; n], vec![0.0; n]];
+        group.bench_function(BenchmarkId::new("row", b.label()), |bench| {
+            bench.iter(|| {
+                let [dx, dy, dz] = &mut disp;
+                distance_row(b, &cell, &xs, &ys, &zs, pos, n, &mut dist, [dx, dy, dz]);
+                black_box(&dist);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_jastrow_backends(c: &mut Criterion) {
+    let n = 256;
+    let mut rng = StdRng::seed_from_u64(9);
+    let row =
+        |rng: &mut StdRng| -> Vec<f64> { (0..n).map(|_| rng.random::<f64>() - 0.5).collect() };
+    let (u, dud, lap) = (row(&mut rng), row(&mut rng), row(&mut rng));
+    let (dx, dy, dz) = (row(&mut rng), row(&mut rng), row(&mut rng));
+
+    let mut group = c.benchmark_group(format!("kernels_j2_n{n}"));
+    for b in Backend::ALL {
+        group.bench_function(BenchmarkId::new("row_vgl", b.label()), |bench| {
+            bench.iter(|| {
+                black_box(j2_row_vgl(b, &u, &dud, &lap, &dx, &dy, &dz, n));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bspline_backends,
+    bench_distance_backends,
+    bench_jastrow_backends
+);
+criterion_main!(benches);

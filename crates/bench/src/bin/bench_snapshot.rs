@@ -1,26 +1,30 @@
 //! Machine-readable benchmark snapshot for CI.
 //!
-//! Runs the graphite workload under the Ref and Current code versions and
-//! prints one `qmc-bench-snapshot/1` JSON document to stdout: wall time,
-//! throughput, and per-kernel seconds for every kernel category. CI
-//! redirects this into `BENCH_pr5.json` so successive PRs leave comparable
-//! timing artifacts next to the test logs.
+//! Runs the graphite workload under the Ref and Current code versions
+//! (per-walker batching) plus Current under a lock-step crowd — the crowd
+//! run drives the batched `Bspline-mw-vgl` kernel, so that column is live
+//! in the snapshot rather than permanently zero — and prints one
+//! `qmc-bench-snapshot/2` JSON document to stdout: wall time, throughput,
+//! and per-kernel seconds for every kernel category. CI redirects this
+//! into `BENCH_pr<N>.json` so successive PRs leave comparable timing
+//! artifacts next to the test logs; `bench_compare` gates the series.
 //!
 //! Knobs are the shared harness flags (`--walkers`, `--steps`,
 //! `--threads`, `--seed`, `--reps`, `--full`); defaults are smoke-sized.
 
-use qmc_bench::{run_report, HarnessConfig};
+use qmc_bench::{run_report_batched, HarnessConfig};
 use qmc_instrument::json::JsonWriter;
 use qmc_instrument::ALL_KERNELS;
-use qmc_workloads::{Benchmark, CodeVersion};
+use qmc_workloads::{Batching, Benchmark, CodeVersion};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
     let w = cfg.workload(Benchmark::Graphite);
+    let crowd = cfg.walkers.clamp(1, 4);
 
     let mut j = JsonWriter::new();
     j.begin_obj();
-    j.key("schema").str_val("qmc-bench-snapshot/1");
+    j.key("schema").str_val("qmc-bench-snapshot/2");
     j.key("benchmark").str_val(w.spec.name);
     j.key("electrons").u64_val(w.num_electrons() as u64);
     j.key("threads").u64_val(cfg.threads as u64);
@@ -28,10 +32,17 @@ fn main() {
     j.key("steps").u64_val(cfg.steps as u64);
     j.key("seed").u64_val(cfg.seed);
     j.key("runs").begin_arr();
-    for code in [CodeVersion::Ref, CodeVersion::Current] {
-        let report = run_report(&w, code, &cfg);
+    let runs = [
+        (CodeVersion::Ref, Batching::PerWalker, "per-walker"),
+        (CodeVersion::Current, Batching::PerWalker, "per-walker"),
+        (CodeVersion::Current, Batching::Crowd(crowd), "crowd"),
+    ];
+    for (code, batching, batch_label) in runs {
+        let report = run_report_batched(&w, code, &cfg, batching);
         j.begin_obj();
         j.key("code").str_val(&report.code);
+        j.key("batching").str_val(batch_label);
+        j.key("kernel_backend").str_val(&report.kernel_backend);
         j.key("seconds").f64_val(report.seconds);
         j.key("samples").u64_val(report.samples);
         j.key("throughput_samples_per_s")

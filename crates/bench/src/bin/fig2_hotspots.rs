@@ -6,9 +6,9 @@
 //! Current kernel share is scaled by `T_current / T_ref`, so shrinking
 //! bars show where the time went.
 
-use qmc_bench::{run_report, HarnessConfig};
+use qmc_bench::{run_report, run_report_batched, HarnessConfig};
 use qmc_instrument::ALL_KERNELS;
-use qmc_workloads::{Benchmark, CodeVersion};
+use qmc_workloads::{Batching, Benchmark, CodeVersion};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
@@ -51,6 +51,21 @@ fn main() {
                 share_cur_on_ref,
                 kspeed
             );
+        }
+
+        // Crowd-batched Current: the lock-step path routes SPO work through
+        // the fused multi-walker kernel, so `Bspline-mw-vgl` is live here
+        // (it is structurally zero in the per-walker profiles above).
+        let crowd = cfg.walkers.clamp(1, 4);
+        let crowd_out = run_report_batched(&w, CodeVersion::Current, &cfg, Batching::Crowd(crowd));
+        let t_crowd = crowd_out.profile.total_seconds();
+        println!("\nCurrent, crowd({crowd}) batching — batched-kernel shares:");
+        for &k in &ALL_KERNELS {
+            let s = crowd_out.profile.get(k).seconds();
+            if s < 1e-6 {
+                continue;
+            }
+            println!("{:<14} {:>11.1}%", k.label(), s / t_crowd * 100.0);
         }
     }
     println!(

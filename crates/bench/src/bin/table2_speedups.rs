@@ -5,8 +5,8 @@
 //! the 1.3-5x band, largest for the biggest problem (NiO-64), smallest for
 //! the all-electron Be-64 / small problems.
 
-use qmc_bench::{run_report, HarnessConfig};
-use qmc_workloads::{Benchmark, CodeVersion};
+use qmc_bench::{run_report, run_report_batched, HarnessConfig};
+use qmc_workloads::{Batching, Benchmark, CodeVersion};
 
 fn main() {
     let cfg = HarnessConfig::from_env();
@@ -21,14 +21,25 @@ fn main() {
     println!("{:<8} {:>10} {:>8} {:>8} {:>8}", "KNL", 2.2, 2.9, 2.4, 2.4);
     println!();
 
+    let crowd = cfg.walkers.clamp(1, 4);
     print!("{:<8}", "host");
     let mut speedups = Vec::new();
+    let mut crowd_speedups = Vec::new();
     for b in Benchmark::all() {
         let w = cfg.workload(b);
         let r = run_report(&w, CodeVersion::Ref, &cfg);
         let c = run_report(&w, CodeVersion::Current, &cfg);
+        // Crowd batching drives the fused multi-walker SPO kernel
+        // (`Bspline-mw-vgl`), so the table also reports the batched path.
+        let cc = run_report_batched(&w, CodeVersion::Current, &cfg, Batching::Crowd(crowd));
         let s = c.throughput() / r.throughput();
         speedups.push((w.spec.name, s));
+        crowd_speedups.push((w.spec.name, cc.throughput() / r.throughput()));
+        print!("{s:>9.1}x");
+    }
+    println!();
+    print!("{:<8}", "+crowd");
+    for (_, s) in &crowd_speedups {
         print!("{s:>9.1}x");
     }
     println!();

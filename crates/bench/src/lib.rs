@@ -100,6 +100,10 @@ pub fn run_best_batched(
 ) -> qmc_workloads::RunOutcome {
     let rc = RunConfig {
         batching,
+        // The bench harness measures the batched code path, so crowd runs
+        // opt into the fused block refresh — this is what keeps the
+        // `Bspline-mw-vgl` column live in the snapshots.
+        fused_refresh: matches!(batching, qmc_workloads::Batching::Crowd(_)),
         ..cfg.run_config()
     };
     let mut best: Option<qmc_workloads::RunOutcome> = None;
@@ -137,6 +141,7 @@ pub fn run_report_batched(
 ) -> qmc_instrument::RunReport {
     let rc = RunConfig {
         batching,
+        fused_refresh: matches!(batching, qmc_workloads::Batching::Crowd(_)),
         ..cfg.run_config()
     };
     run_best_batched(workload, code, cfg, batching).report(workload, &rc)

@@ -9,40 +9,10 @@
 
 use qmc_containers::{Matrix, Real};
 
-/// Cubic B-spline basis weights for parameter `u` in `[0, 1)`.
-///
-/// Returns `(w, dw, d2w)`: value, first and second derivative weights of the
-/// four control points spanning the interval.
-#[inline]
-pub fn bspline_weights<T: Real>(u: T) -> ([T; 4], [T; 4], [T; 4]) {
-    let one = T::ONE;
-    let half = T::HALF;
-    let third = T::from_f64(1.0 / 3.0);
-    let sixth = T::from_f64(1.0 / 6.0);
-    let u2 = u * u;
-    let u3 = u2 * u;
-    let omu = one - u;
-    let w = [
-        sixth * omu * omu * omu,
-        half * u3 - u2 + T::from_f64(2.0 / 3.0),
-        -half * u3 + half * u2 + half * u + sixth,
-        sixth * u3,
-    ];
-    let dw = [
-        -half * omu * omu,
-        T::from_f64(1.5) * u2 - u - u,
-        T::from_f64(-1.5) * u2 + u + half,
-        half * u2,
-    ];
-    let d2w = [
-        omu,
-        T::from_f64(3.0) * u - one - one,
-        one - T::from_f64(3.0) * u,
-        u,
-    ];
-    let _ = third;
-    (w, dw, d2w)
-}
+// The 4-point stencil weights moved into the kernel library with the 3D
+// evaluation kernels (one definition shared by the 1D functors and every
+// tricubic backend); re-exported here so existing imports keep working.
+pub use qmc_kernels::bspline_weights;
 
 /// A cubic B-spline functor `U(r)` on `[0, r_cut)` with uniform knots.
 ///

@@ -6,23 +6,27 @@
 //! one evaluation produces the values (and optionally gradients/Hessians)
 //! of *all* orbitals at a point.
 //!
-//! Two evaluation strategies are provided, matching the paper's Ref/Current
-//! code paths:
+//! The evaluation loops themselves live in `qmc-kernels` behind the
+//! [`Backend`] dispatch seam; this type owns the table (allocation,
+//! interpolating fits, periodic ghost layers) and delegates every
+//! evaluation through [`MultiBspline3D::view`]:
 //!
 //! * [`MultiBspline3D::evaluate_v`] / [`MultiBspline3D::evaluate_vgh`] —
-//!   optimized loops with the **spline index innermost**, streaming
+//!   the optimized `soa` backend: spline index innermost, streaming
 //!   contiguous SIMD-friendly slabs (the layout the paper credits for the
 //!   Bspline speedups).
 //! * [`MultiBspline3D::evaluate_v_ref`] / [`MultiBspline3D::evaluate_vgh_ref`]
-//!   — reference loops with the **spline index outermost**, reproducing the
+//!   — the `reference` backend: spline index outermost, reproducing the
 //!   strided access pattern of per-orbital evaluation.
+//! * [`MultiBspline3D::evaluate_v_backend`] and friends — explicit backend
+//!   choice, including the register-blocked `simd` backend.
 //!
 //! Coordinates are *fractional* (`[0,1)` per dimension); derivative outputs
 //! are with respect to the fractional coordinates. The SPO wrapper in
 //! `qmc-wavefunction` applies the lattice transform to Cartesian space.
 
-use crate::cubic1d::bspline_weights;
 use qmc_containers::{padded_len, AlignedVec, Real};
+use qmc_kernels::{Backend, SplineView};
 
 /// Solves the cyclic tridiagonal system with constant stencil
 /// `(a, b, a)` (sub/diag/super plus periodic corners) for the right-hand
@@ -81,11 +85,6 @@ pub struct MultiBspline3D<T: Real> {
 }
 
 impl<T: Real> MultiBspline3D<T> {
-    fn idx(&self, ix: usize, iy: usize, iz: usize) -> usize {
-        let [_, ny, nz] = self.grid;
-        ((ix * (ny + 3) + iy) * (nz + 3) + iz) * self.ns_pad
-    }
-
     /// Allocates a zeroed table.
     pub fn zeros(grid: [usize; 3], num_splines: usize) -> Self {
         assert!(grid.iter().all(|&n| n >= 4), "grid must be at least 4^3");
@@ -255,48 +254,40 @@ impl<T: Real> MultiBspline3D<T> {
         self.coefs.len() * std::mem::size_of::<T>()
     }
 
+    /// Borrows the coefficient table as the kernel-library view every
+    /// backend evaluates against.
     #[inline]
-    fn locate(u: T, n: usize) -> (usize, T) {
-        // Wrap fractional coordinate into [0,1) then scale to grid units.
-        let mut uf = u - u.floor();
-        if uf >= T::ONE {
-            uf = T::ZERO;
+    pub fn view(&self) -> SplineView<'_, T> {
+        SplineView {
+            grid: self.grid,
+            num_splines: self.num_splines,
+            ns_pad: self.ns_pad,
+            coefs: self.coefs.as_slice(),
         }
-        let t = uf * T::from_usize(n);
-        let i = t.floor();
-        let frac = t - i;
-        let mut i = i.to_f64() as usize;
-        if i >= n {
-            i = n - 1; // guards the uf ~ 1.0 rounding edge
-        }
-        (i, frac)
+    }
+
+    /// Value-only evaluation on an explicit kernel backend.
+    pub fn evaluate_v_backend(&self, backend: Backend, u: [T; 3], psi: &mut [T]) {
+        qmc_kernels::bspline::evaluate_v(backend, &self.view(), u, psi);
     }
 
     /// Optimized value-only evaluation at fractional coordinates `u`,
-    /// writing `num_splines` values into `psi`. Spline index innermost.
+    /// writing `num_splines` values into `psi`. Spline index innermost
+    /// (the `soa` backend).
     pub fn evaluate_v(&self, u: [T; 3], psi: &mut [T]) {
-        assert!(psi.len() >= self.num_splines);
-        let (ix, ux) = Self::locate(u[0], self.grid[0]);
-        let (iy, uy) = Self::locate(u[1], self.grid[1]);
-        let (iz, uz) = Self::locate(u[2], self.grid[2]);
-        let (wx, _, _) = bspline_weights(ux);
-        let (wy, _, _) = bspline_weights(uy);
-        let (wz, _, _) = bspline_weights(uz);
-        let ns = self.num_splines;
-        psi[..ns].fill(T::ZERO);
-        for a in 0..4 {
-            for b in 0..4 {
-                let wab = wx[a] * wy[b];
-                for c in 0..4 {
-                    let w = wab * wz[c];
-                    let base = self.idx(ix + a, iy + b, iz + c);
-                    let coefs = &self.coefs[base..base + ns];
-                    for (p, &cf) in psi[..ns].iter_mut().zip(coefs) {
-                        *p = w.mul_add(cf, *p);
-                    }
-                }
-            }
-        }
+        self.evaluate_v_backend(Backend::Soa, u, psi);
+    }
+
+    /// Value+gradient+Hessian evaluation on an explicit kernel backend.
+    pub fn evaluate_vgh_backend(
+        &self,
+        backend: Backend,
+        u: [T; 3],
+        psi: &mut [T],
+        grad: &mut [T],
+        hess: &mut [T],
+    ) {
+        qmc_kernels::bspline::evaluate_vgh(backend, &self.view(), u, psi, grad, hess);
     }
 
     /// Optimized value+gradient+Hessian evaluation. Gradients are w.r.t.
@@ -305,58 +296,7 @@ impl<T: Real> MultiBspline3D<T> {
     ///
     /// `grad` holds three slabs of `num_splines` values (`[3 * ns]`).
     pub fn evaluate_vgh(&self, u: [T; 3], psi: &mut [T], grad: &mut [T], hess: &mut [T]) {
-        let ns = self.num_splines;
-        assert!(psi.len() >= ns && grad.len() >= 3 * ns && hess.len() >= 6 * ns);
-        let (ix, ux) = Self::locate(u[0], self.grid[0]);
-        let (iy, uy) = Self::locate(u[1], self.grid[1]);
-        let (iz, uz) = Self::locate(u[2], self.grid[2]);
-        let (wx, dwx, d2wx) = bspline_weights(ux);
-        let (wy, dwy, d2wy) = bspline_weights(uy);
-        let (wz, dwz, d2wz) = bspline_weights(uz);
-        psi[..ns].fill(T::ZERO);
-        grad[..3 * ns].fill(T::ZERO);
-        hess[..6 * ns].fill(T::ZERO);
-        for a in 0..4 {
-            for b in 0..4 {
-                for c in 0..4 {
-                    let w = [
-                        wx[a] * wy[b] * wz[c],   // v
-                        dwx[a] * wy[b] * wz[c],  // gx
-                        wx[a] * dwy[b] * wz[c],  // gy
-                        wx[a] * wy[b] * dwz[c],  // gz
-                        d2wx[a] * wy[b] * wz[c], // hxx
-                        dwx[a] * dwy[b] * wz[c], // hxy
-                        dwx[a] * wy[b] * dwz[c], // hxz
-                        wx[a] * d2wy[b] * wz[c], // hyy
-                        wx[a] * dwy[b] * dwz[c], // hyz
-                        wx[a] * wy[b] * d2wz[c], // hzz
-                    ];
-                    let base = self.idx(ix + a, iy + b, iz + c);
-                    let coefs = &self.coefs[base..base + ns];
-                    // value
-                    for (p, &cf) in psi[..ns].iter_mut().zip(coefs) {
-                        *p = w[0].mul_add(cf, *p);
-                    }
-                    // gradient slabs
-                    for d in 0..3 {
-                        let g = &mut grad[d * ns..(d + 1) * ns];
-                        let wd = w[1 + d];
-                        for (p, &cf) in g.iter_mut().zip(coefs) {
-                            *p = wd.mul_add(cf, *p);
-                        }
-                    }
-                    // hessian slabs
-                    for h in 0..6 {
-                        let hsl = &mut hess[h * ns..(h + 1) * ns];
-                        let wh = w[4 + h];
-                        for (p, &cf) in hsl.iter_mut().zip(coefs) {
-                            *p = wh.mul_add(cf, *p);
-                        }
-                    }
-                }
-            }
-        }
-        self.scale_derivatives(grad, hess);
+        self.evaluate_vgh_backend(Backend::Soa, u, psi, grad, hess);
     }
 
     /// Fused value + *Cartesian* gradient + Laplacian evaluation.
@@ -385,74 +325,24 @@ impl<T: Real> MultiBspline3D<T> {
         grad: &mut [T],
         lap: &mut [T],
     ) {
-        let ns = self.num_splines;
-        assert!(psi.len() >= ns && grad.len() >= 3 * ns && lap.len() >= ns);
-        let (ix, ux) = Self::locate(u[0], self.grid[0]);
-        let (iy, uy) = Self::locate(u[1], self.grid[1]);
-        let (iz, uz) = Self::locate(u[2], self.grid[2]);
-        let (wx, mut dwx, mut d2wx) = bspline_weights(ux);
-        let (wy, mut dwy, mut d2wy) = bspline_weights(uy);
-        let (wz, mut dwz, mut d2wz) = bspline_weights(uz);
-        // Fold grid-unit -> fractional derivative scaling into the 1D
-        // weights (grad x n, hess x n^2 per differentiated axis).
-        let n = [
-            T::from_usize(self.grid[0]),
-            T::from_usize(self.grid[1]),
-            T::from_usize(self.grid[2]),
-        ];
-        for k in 0..4 {
-            dwx[k] *= n[0];
-            dwy[k] *= n[1];
-            dwz[k] *= n[2];
-            d2wx[k] *= n[0] * n[0];
-            d2wy[k] *= n[1] * n[1];
-            d2wz[k] *= n[2] * n[2];
-        }
-        psi[..ns].fill(T::ZERO);
-        grad[..3 * ns].fill(T::ZERO);
-        lap[..ns].fill(T::ZERO);
-        for a in 0..4 {
-            for b in 0..4 {
-                for c in 0..4 {
-                    let wv = wx[a] * wy[b] * wz[c];
-                    // Fractional gradient weights, grid scaling included.
-                    let gf = [
-                        dwx[a] * wy[b] * wz[c],
-                        wx[a] * dwy[b] * wz[c],
-                        wx[a] * wy[b] * dwz[c],
-                    ];
-                    // Precontracted Cartesian gradient weights.
-                    let cg = [
-                        gmat[0][0] * gf[0] + gmat[0][1] * gf[1] + gmat[0][2] * gf[2],
-                        gmat[1][0] * gf[0] + gmat[1][1] * gf[1] + gmat[1][2] * gf[2],
-                        gmat[2][0] * gf[0] + gmat[2][1] * gf[1] + gmat[2][2] * gf[2],
-                    ];
-                    // Laplacian weight: packed Hessian stencil contracted
-                    // with the metric (off-diagonals pre-doubled).
-                    let wl = lapmet[0] * (d2wx[a] * wy[b] * wz[c])
-                        + lapmet[1] * (dwx[a] * dwy[b] * wz[c])
-                        + lapmet[2] * (dwx[a] * wy[b] * dwz[c])
-                        + lapmet[3] * (wx[a] * d2wy[b] * wz[c])
-                        + lapmet[4] * (wx[a] * dwy[b] * dwz[c])
-                        + lapmet[5] * (wx[a] * wy[b] * d2wz[c]);
-                    let base = self.idx(ix + a, iy + b, iz + c);
-                    let coefs = &self.coefs[base..base + ns];
-                    for (p, &cf) in psi[..ns].iter_mut().zip(coefs) {
-                        *p = wv.mul_add(cf, *p);
-                    }
-                    for d in 0..3 {
-                        let g = &mut grad[d * ns..(d + 1) * ns];
-                        let wd = cg[d];
-                        for (p, &cf) in g.iter_mut().zip(coefs) {
-                            *p = wd.mul_add(cf, *p);
-                        }
-                    }
-                    for (p, &cf) in lap[..ns].iter_mut().zip(coefs) {
-                        *p = wl.mul_add(cf, *p);
-                    }
-                }
-            }
-        }
+        self.evaluate_vgl_backend(Backend::Soa, u, gmat, lapmet, psi, grad, lap);
+    }
+
+    /// Fused VGL evaluation on an explicit kernel backend.
+    // Kernel entry point: flat output slabs as separate slices on purpose
+    // (bundling them would force callers to build views on the hot path).
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_vgl_backend(
+        &self,
+        backend: Backend,
+        u: [T; 3],
+        gmat: &[[T; 3]; 3],
+        lapmet: &[T; 6],
+        psi: &mut [T],
+        grad: &mut [T],
+        lap: &mut [T],
+    ) {
+        qmc_kernels::bspline::evaluate_vgl(backend, &self.view(), u, gmat, lapmet, psi, grad, lap);
     }
 
     /// Multi-walker fused VGL: evaluates `us.len()` positions against the
@@ -472,109 +362,46 @@ impl<T: Real> MultiBspline3D<T> {
         grad: &mut [T],
         lap: &mut [T],
     ) {
-        let ns = self.num_splines;
-        let nw = us.len();
-        assert!(psi.len() >= nw * ns && grad.len() >= nw * 3 * ns && lap.len() >= nw * ns);
-        for (w, &u) in us.iter().enumerate() {
-            self.evaluate_vgl(
-                u,
-                gmat,
-                lapmet,
-                &mut psi[w * ns..(w + 1) * ns],
-                &mut grad[w * 3 * ns..(w + 1) * 3 * ns],
-                &mut lap[w * ns..(w + 1) * ns],
-            );
-        }
+        self.mw_evaluate_vgl_backend(Backend::Soa, us, gmat, lapmet, psi, grad, lap);
+    }
+
+    /// Multi-walker fused VGL on an explicit kernel backend.
+    // qmclint: allow(timer-coverage) — timed by the caller: BsplineSpo wraps
+    // this in Kernel::BsplineMwVGL; the bspline crate itself stays free of
+    // instrumentation dependencies.
+    // Kernel entry point: flat output slabs as separate slices on purpose.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mw_evaluate_vgl_backend(
+        &self,
+        backend: Backend,
+        us: &[[T; 3]],
+        gmat: &[[T; 3]; 3],
+        lapmet: &[T; 6],
+        psi: &mut [T],
+        grad: &mut [T],
+        lap: &mut [T],
+    ) {
+        qmc_kernels::bspline::mw_evaluate_vgl(
+            backend,
+            &self.view(),
+            us,
+            gmat,
+            lapmet,
+            psi,
+            grad,
+            lap,
+        );
     }
 
     /// Reference value-only evaluation: spline index outermost (the
     /// per-orbital strided pattern of the baseline code).
     pub fn evaluate_v_ref(&self, u: [T; 3], psi: &mut [T]) {
-        assert!(psi.len() >= self.num_splines);
-        let (ix, ux) = Self::locate(u[0], self.grid[0]);
-        let (iy, uy) = Self::locate(u[1], self.grid[1]);
-        let (iz, uz) = Self::locate(u[2], self.grid[2]);
-        let (wx, _, _) = bspline_weights(ux);
-        let (wy, _, _) = bspline_weights(uy);
-        let (wz, _, _) = bspline_weights(uz);
-        for (s, out) in psi[..self.num_splines].iter_mut().enumerate() {
-            let mut acc = T::ZERO;
-            for a in 0..4 {
-                for b in 0..4 {
-                    let wab = wx[a] * wy[b];
-                    for c in 0..4 {
-                        let base = self.idx(ix + a, iy + b, iz + c);
-                        acc = (wab * wz[c]).mul_add(self.coefs[base + s], acc);
-                    }
-                }
-            }
-            *out = acc;
-        }
+        self.evaluate_v_backend(Backend::Reference, u, psi);
     }
 
     /// Reference value+gradient+Hessian evaluation (spline outermost).
     pub fn evaluate_vgh_ref(&self, u: [T; 3], psi: &mut [T], grad: &mut [T], hess: &mut [T]) {
-        let ns = self.num_splines;
-        assert!(psi.len() >= ns && grad.len() >= 3 * ns && hess.len() >= 6 * ns);
-        let (ix, ux) = Self::locate(u[0], self.grid[0]);
-        let (iy, uy) = Self::locate(u[1], self.grid[1]);
-        let (iz, uz) = Self::locate(u[2], self.grid[2]);
-        let (wx, dwx, d2wx) = bspline_weights(ux);
-        let (wy, dwy, d2wy) = bspline_weights(uy);
-        let (wz, dwz, d2wz) = bspline_weights(uz);
-        for s in 0..ns {
-            let mut acc = [T::ZERO; 10];
-            for a in 0..4 {
-                for b in 0..4 {
-                    for c in 0..4 {
-                        let base = self.idx(ix + a, iy + b, iz + c);
-                        let cf = self.coefs[base + s];
-                        acc[0] = (wx[a] * wy[b] * wz[c]).mul_add(cf, acc[0]);
-                        acc[1] = (dwx[a] * wy[b] * wz[c]).mul_add(cf, acc[1]);
-                        acc[2] = (wx[a] * dwy[b] * wz[c]).mul_add(cf, acc[2]);
-                        acc[3] = (wx[a] * wy[b] * dwz[c]).mul_add(cf, acc[3]);
-                        acc[4] = (d2wx[a] * wy[b] * wz[c]).mul_add(cf, acc[4]);
-                        acc[5] = (dwx[a] * dwy[b] * wz[c]).mul_add(cf, acc[5]);
-                        acc[6] = (dwx[a] * wy[b] * dwz[c]).mul_add(cf, acc[6]);
-                        acc[7] = (wx[a] * d2wy[b] * wz[c]).mul_add(cf, acc[7]);
-                        acc[8] = (wx[a] * dwy[b] * dwz[c]).mul_add(cf, acc[8]);
-                        acc[9] = (wx[a] * wy[b] * d2wz[c]).mul_add(cf, acc[9]);
-                    }
-                }
-            }
-            psi[s] = acc[0];
-            for d in 0..3 {
-                grad[d * ns + s] = acc[1 + d];
-            }
-            for h in 0..6 {
-                hess[h * ns + s] = acc[4 + h];
-            }
-        }
-        self.scale_derivatives(grad, hess);
-    }
-
-    /// Converts grid-unit derivatives to fractional-coordinate derivatives.
-    fn scale_derivatives(&self, grad: &mut [T], hess: &mut [T]) {
-        let ns = self.num_splines;
-        let n = [
-            T::from_usize(self.grid[0]),
-            T::from_usize(self.grid[1]),
-            T::from_usize(self.grid[2]),
-        ];
-        for d in 0..3 {
-            let g = &mut grad[d * ns..(d + 1) * ns];
-            for x in g.iter_mut() {
-                *x *= n[d];
-            }
-        }
-        // hess order: xx,xy,xz,yy,yz,zz
-        let pairs = [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)];
-        for (h, (a, b)) in pairs.iter().enumerate() {
-            let scale = n[*a] * n[*b];
-            for x in &mut hess[h * ns..(h + 1) * ns] {
-                *x *= scale;
-            }
-        }
+        self.evaluate_vgh_backend(Backend::Reference, u, psi, grad, hess);
     }
 }
 

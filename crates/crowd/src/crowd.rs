@@ -17,13 +17,32 @@ use rand::RngExt;
 /// bit-identical to per-walker execution for any crowd size.
 pub struct Crowd<T: Real> {
     slots: Vec<QmcEngine<T>>,
+    fused_refresh: bool,
 }
 
 impl<T: Real> Crowd<T> {
     /// Builds a crowd from its slot engines (one walker per slot).
     pub fn new(slots: Vec<QmcEngine<T>>) -> Self {
         assert!(!slots.is_empty(), "a crowd needs at least one engine");
-        Self { slots }
+        Self {
+            slots,
+            fused_refresh: false,
+        }
+    }
+
+    /// Enables the fused block refresh: block-boundary recomputes go
+    /// through [`TrialWaveFunction::mw_evaluate_log`], whose determinant
+    /// stage drives the multi-walker SPO kernel (`Bspline-mw-vgl`). Off by
+    /// default because the fused spline kernel regroups floating point, so
+    /// it trades the crowd's bitwise parity with the per-walker drivers
+    /// for batched throughput.
+    pub fn set_fused_refresh(&mut self, fused: bool) {
+        self.fused_refresh = fused;
+    }
+
+    /// Whether block refreshes use the fused batched path.
+    pub fn fused_refresh(&self) -> bool {
+        self.fused_refresh
     }
 
     /// Walkers this crowd advances per lock-step block.
@@ -54,6 +73,40 @@ impl<T: Real> Crowd<T> {
             psets.push(&*pset);
         }
         (psis, psets)
+    }
+
+    /// Block-boundary mixed-precision refresh for the first `nw` loaded
+    /// slots: the batched analogue of calling
+    /// [`QmcEngine::refresh_from_scratch`] per slot, with the same
+    /// finiteness check and `mp_drift` bookkeeping per walker. With
+    /// [`Self::set_fused_refresh`] enabled it reroutes the determinant's
+    /// orbital rows through the multi-walker SPO kernel; otherwise it
+    /// delegates to the bit-identical per-slot path.
+    pub fn refresh_block(&mut self, nw: usize) {
+        assert!(nw <= self.slots.len(), "more walkers than crowd slots");
+        if !self.fused_refresh {
+            for e in &mut self.slots[..nw] {
+                e.refresh_from_scratch();
+            }
+            return;
+        }
+        let mut before = Vec::with_capacity(nw);
+        let mut psis = Vec::with_capacity(nw);
+        let mut psets = Vec::with_capacity(nw);
+        for e in &mut self.slots[..nw] {
+            before.push(e.psi.log_value());
+            let QmcEngine { pset, psi, .. } = e;
+            psis.push(psi);
+            psets.push(pset);
+        }
+        let mut logs = vec![0.0; nw];
+        TrialWaveFunction::mw_evaluate_log(&mut psis, &mut psets, &mut logs);
+        for (&after, &bef) in logs.iter().zip(before.iter()) {
+            qmc_instrument::check_finite(qmc_instrument::CheckKind::LogPsi, after);
+            if bef.is_finite() && after.is_finite() {
+                qmc_instrument::record_refresh_drift((after - bef).abs());
+            }
+        }
     }
 
     /// One lock-step drift-diffusion sweep over the loaded walkers

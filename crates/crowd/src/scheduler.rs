@@ -19,6 +19,7 @@ use qmc_instrument::{drain_thread_profile, span, span_lazy, ProfileSet};
 pub struct CrowdScheduler {
     threads: usize,
     crowd_size: usize,
+    fused_refresh: bool,
 }
 
 impl CrowdScheduler {
@@ -28,7 +29,18 @@ impl CrowdScheduler {
         Self {
             threads: threads.max(1),
             crowd_size: crowd_size.max(1),
+            fused_refresh: false,
         }
+    }
+
+    /// Routes block-boundary refreshes through the fused batched
+    /// wavefunction path (`Crowd::refresh_block` with fusion on), driving
+    /// the multi-walker SPO kernel. Off by default: the fused spline
+    /// kernel regroups floating point, so enabling it gives up bitwise
+    /// parity with the per-walker drivers.
+    pub fn with_fused_refresh(mut self, fused: bool) -> Self {
+        self.fused_refresh = fused;
+        self
     }
 
     /// Worker threads (one crowd each).
@@ -52,7 +64,11 @@ impl CrowdScheduler {
         mut factory: impl FnMut() -> QmcEngine<T>,
     ) -> Vec<Crowd<T>> {
         (0..self.threads)
-            .map(|_| Crowd::new((0..self.crowd_size).map(|_| factory()).collect()))
+            .map(|_| {
+                let mut crowd = Crowd::new((0..self.crowd_size).map(|_| factory()).collect());
+                crowd.set_fused_refresh(self.fused_refresh);
+                crowd
+            })
             .collect()
     }
 
@@ -90,9 +106,11 @@ impl CrowdScheduler {
                         let _block_span = span_lazy(c as u64, || format!("block {b}"));
                         for (s, w) in block.iter_mut().enumerate() {
                             crowd.slot_mut(s).load_walker(w);
-                            if refresh {
-                                crowd.slot_mut(s).refresh_from_scratch();
-                            }
+                        }
+                        if refresh {
+                            // Per-slot scalar refresh unless the crowd has
+                            // fusion enabled (see `Crowd::refresh_block`).
+                            crowd.refresh_block(block.len());
                         }
                         let stats = crowd.sweep(block, tau);
                         for (s, w) in block.iter_mut().enumerate() {

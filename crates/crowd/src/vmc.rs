@@ -10,7 +10,9 @@ use qmc_drivers::{ScalarEstimator, VmcParams, VmcResult, Walker};
 /// all resident walkers in lock-step. Local-energy samples are buffered
 /// per slot and pushed walker-major after the block's steps, so the
 /// estimator ingests them in exactly the order of the per-walker driver —
-/// the result is bit-identical to `run_vmc` for any crowd size.
+/// the result is bit-identical to `run_vmc` for any crowd size (with the
+/// default per-slot refresh; a crowd with fused refresh enabled trades
+/// that parity for the batched SPO kernel).
 pub fn run_vmc_crowd<T: Real>(
     crowd: &mut Crowd<T>,
     walkers: &mut [Walker<T>],
@@ -33,10 +35,11 @@ pub fn run_vmc_crowd<T: Real>(
         for block in walkers.chunks_mut(cs) {
             for (s, w) in block.iter_mut().enumerate() {
                 crowd.slot_mut(s).load_walker(w);
-                // Per-block mixed-precision hygiene, as in `run_vmc`.
-                crowd.slot_mut(s).refresh_from_scratch();
                 buffered[s].clear();
             }
+            // Per-block mixed-precision hygiene, as in `run_vmc` (fused
+            // across the block when the crowd opts in).
+            crowd.refresh_block(block.len());
             for step in 0..params.steps_per_block {
                 let stats = crowd.sweep(block, params.tau);
                 for st in &stats {

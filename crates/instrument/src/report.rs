@@ -94,6 +94,9 @@ pub struct RunReport {
     pub benchmark: String,
     /// Code-version label (optimization-ladder rung).
     pub code: String,
+    /// Kernel backend label the run executed with (`reference` / `soa` /
+    /// `simd`; empty when the front-end predates the backend seam).
+    pub kernel_backend: String,
     /// Electron count.
     pub electrons: usize,
     /// Ion count.
@@ -178,6 +181,7 @@ impl RunReport {
         w.key("schema").str_val(RUN_REPORT_SCHEMA);
         w.key("benchmark").str_val(&self.benchmark);
         w.key("code").str_val(&self.code);
+        w.key("kernel_backend").str_val(&self.kernel_backend);
         w.key("electrons").u64_val(self.electrons as u64);
         w.key("ions").u64_val(self.ions as u64);
         w.key("threads").u64_val(self.threads as u64);
@@ -262,9 +266,14 @@ impl RunReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "run: {} [{}]  e={} i={}  threads={} walkers={} steps={}{}",
+            "run: {} [{}{}]  e={} i={}  threads={} walkers={} steps={}{}",
             self.benchmark,
             self.code,
+            if self.kernel_backend.is_empty() {
+                String::new()
+            } else {
+                format!(", backend={}", self.kernel_backend)
+            },
             self.electrons,
             self.ions,
             self.threads,
@@ -332,6 +341,7 @@ mod tests {
         RunReport {
             benchmark: "graphite-1x1x1".into(),
             code: "current".into(),
+            kernel_backend: "soa".into(),
             electrons: 16,
             ions: 4,
             threads: 2,

@@ -1,0 +1,185 @@
+//! Portable-SIMD-style lane structs for the explicit `simd` backend.
+//!
+//! Stable Rust has no `std::simd`, and this workspace vendors no external
+//! crates, so explicit vectorization is expressed as fixed-width value
+//! types over `[T; LANES]` with `#[inline(always)]` elementwise
+//! operations. The array width is a compile-time constant, every loop
+//! below is fully unrollable, and the optimizer lowers each op to the
+//! machine's packed instructions (FMA, packed sqrt/floor) — the same
+//! contract `std::simd` would give, without `unsafe` and without touching
+//! the workspace's audited unsafe surface.
+//!
+//! The payoff is *register blocking*: a kernel keeps a `Lane<T>` per
+//! accumulator live across its whole reduction instead of streaming the
+//! output slab through memory once per stencil node.
+
+use qmc_containers::Real;
+
+/// Lane count of the explicit-SIMD value type: 8 scalars — one 512-bit
+/// register of `f64` or two 256-bit registers of `f32`/`f64`, letting the
+/// backend target AVX2 and AVX-512 with the same source.
+pub const LANES: usize = 8;
+
+/// A fixed-width pack of scalars, operated on elementwise.
+#[derive(Clone, Copy, Debug)]
+pub struct Lane<T: Real>(pub [T; LANES]);
+
+// `add`/`sub`/`mul` are deliberate inherent methods rather than operator
+// overloads: the kernels read as explicit dataflow (`acc.fma(a, b)`,
+// `d.mul(d)`), and keeping the whole vocabulary as uniform by-value
+// method calls makes the `#[inline(always)]` contract auditable in one
+// place instead of hiding half of it behind `std::ops` impls.
+#[allow(clippy::should_implement_trait)]
+impl<T: Real> Lane<T> {
+    /// All lanes zero.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Lane([T::ZERO; LANES])
+    }
+
+    /// All lanes set to `x`.
+    #[inline(always)]
+    pub fn splat(x: T) -> Self {
+        Lane([x; LANES])
+    }
+
+    /// Loads `LANES` contiguous scalars from the front of `src`.
+    #[inline(always)]
+    pub fn load(src: &[T]) -> Self {
+        let mut v = [T::ZERO; LANES];
+        v.copy_from_slice(&src[..LANES]);
+        Lane(v)
+    }
+
+    /// Stores the lanes into the front of `dst`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [T]) {
+        dst[..LANES].copy_from_slice(&self.0);
+    }
+
+    /// Elementwise fused multiply-add with a broadcast weight:
+    /// `self[k] = w * c[k] + self[k]` — the B-spline accumulation step.
+    #[inline(always)]
+    pub fn fma_scalar(self, w: T, c: Lane<T>) -> Self {
+        let mut out = self.0;
+        for k in 0..LANES {
+            out[k] = w.mul_add(c.0[k], out[k]);
+        }
+        Lane(out)
+    }
+
+    /// Elementwise fused multiply-add: `self[k] = a[k] * b[k] + self[k]`.
+    #[inline(always)]
+    pub fn fma(self, a: Lane<T>, b: Lane<T>) -> Self {
+        let mut out = self.0;
+        for k in 0..LANES {
+            out[k] = a.0[k].mul_add(b.0[k], out[k]);
+        }
+        Lane(out)
+    }
+
+    /// Elementwise sum.
+    #[inline(always)]
+    pub fn add(self, o: Lane<T>) -> Self {
+        let mut out = self.0;
+        for k in 0..LANES {
+            out[k] += o.0[k];
+        }
+        Lane(out)
+    }
+
+    /// Elementwise difference.
+    #[inline(always)]
+    pub fn sub(self, o: Lane<T>) -> Self {
+        let mut out = self.0;
+        for k in 0..LANES {
+            out[k] -= o.0[k];
+        }
+        Lane(out)
+    }
+
+    /// Elementwise product.
+    #[inline(always)]
+    pub fn mul(self, o: Lane<T>) -> Self {
+        let mut out = self.0;
+        for k in 0..LANES {
+            out[k] *= o.0[k];
+        }
+        Lane(out)
+    }
+
+    /// Elementwise product with a broadcast scalar.
+    #[inline(always)]
+    pub fn mul_scalar(self, s: T) -> Self {
+        let mut out = self.0;
+        for k in 0..LANES {
+            out[k] *= s;
+        }
+        Lane(out)
+    }
+
+    /// Elementwise `floor`.
+    #[inline(always)]
+    pub fn floor(self) -> Self {
+        let mut out = self.0;
+        for k in 0..LANES {
+            out[k] = out[k].floor();
+        }
+        Lane(out)
+    }
+
+    /// Elementwise `sqrt`.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        let mut out = self.0;
+        for k in 0..LANES {
+            out[k] = out[k].sqrt();
+        }
+        Lane(out)
+    }
+
+    /// Horizontal sum in lane order (0, 1, ..). Splitting a reduction
+    /// across lanes and summing here changes the summation order relative
+    /// to a scalar loop — callers relying on this are the *tolerance*
+    /// (not bitwise) part of the verification contract.
+    #[inline(always)]
+    pub fn hsum(self) -> T {
+        let mut acc = T::ZERO;
+        for k in 0..LANES {
+            acc += self.0[k];
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fma_scalar_matches_scalar_mul_add() {
+        let c = Lane::<f64>(core::array::from_fn(|k| 0.25 * k as f64 - 0.5));
+        let acc = Lane::splat(1.5).fma_scalar(0.75, c);
+        for k in 0..LANES {
+            assert_eq!(acc.0[k], 0.75f64.mul_add(c.0[k], 1.5));
+        }
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let src: Vec<f32> = (0..LANES).map(|k| k as f32 + 0.5).collect();
+        let mut dst = vec![0.0f32; LANES];
+        Lane::load(&src).store(&mut dst);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn hsum_is_lane_ordered() {
+        let v = Lane::<f64>(core::array::from_fn(|k| (k as f64 + 1.0) * 1e-3));
+        let mut expect = 0.0;
+        for k in 0..LANES {
+            expect += v.0[k];
+        }
+        assert_eq!(v.hsum(), expect);
+    }
+}

@@ -1,0 +1,375 @@
+//! Cross-backend verification matrix over seeded random inputs.
+//!
+//! Pins the contract documented in the crate root: B-spline and distance
+//! kernels are **bitwise identical** across every backend; J2 reductions
+//! are bitwise between `reference` and `soa` and within tolerance for
+//! `simd`, while J2 slab updates are bitwise everywhere. Each family is
+//! exercised at sizes that cover both full lane blocks and scalar tails.
+
+use qmc_containers::{padded_len, AlignedVec, Real};
+use qmc_kernels::bspline::{evaluate_v, evaluate_vgh, evaluate_vgl, mw_evaluate_vgl};
+use qmc_kernels::distance::distance_row;
+use qmc_kernels::jastrow::{
+    j2_accept_grad_row, j2_accept_value_rows, j2_row_sum, j2_row_vg, j2_row_vgl,
+};
+use qmc_kernels::{Backend, MinImageCell, SplineView};
+
+// -- seeded input generators ------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    /// xorshift64* uniform in [0, 1).
+    fn next(&mut self) -> f64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        (self.0.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn signed<T: Real>(&mut self) -> T {
+        T::from_f64(self.next() - 0.5)
+    }
+
+    fn row<T: Real>(&mut self, n: usize) -> Vec<T> {
+        (0..n).map(|_| self.signed()).collect()
+    }
+}
+
+/// Owned random coefficient table presenting a [`SplineView`].
+struct Table<T: Real> {
+    grid: [usize; 3],
+    ns: usize,
+    ns_pad: usize,
+    coefs: AlignedVec<T>,
+}
+
+impl<T: Real> Table<T> {
+    fn random(grid: [usize; 3], ns: usize, seed: u64) -> Self {
+        let ns_pad = padded_len::<T>(ns);
+        let total = (grid[0] + 3) * (grid[1] + 3) * (grid[2] + 3) * ns_pad;
+        let mut coefs = AlignedVec::<T>::zeros(total);
+        let mut rng = Rng::new(seed);
+        for x in coefs.as_mut_slice() {
+            *x = rng.signed();
+        }
+        Self {
+            grid,
+            ns,
+            ns_pad,
+            coefs,
+        }
+    }
+
+    fn view(&self) -> SplineView<'_, T> {
+        SplineView {
+            grid: self.grid,
+            num_splines: self.ns,
+            ns_pad: self.ns_pad,
+            coefs: self.coefs.as_slice(),
+        }
+    }
+}
+
+fn positions<T: Real>(n: usize, seed: u64) -> Vec<[T; 3]> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| {
+            [
+                T::from_f64(rng.next()),
+                T::from_f64(rng.next()),
+                T::from_f64(rng.next()),
+            ]
+        })
+        .collect()
+}
+
+// -- B-spline family: bitwise across all backends ---------------------------
+
+fn bspline_matrix<T: Real>(ns: usize, seed: u64) {
+    let table = Table::<T>::random([5, 6, 7], ns, seed);
+    let t = table.view();
+    let gmat = [
+        [T::from_f64(0.31), T::ZERO, T::ZERO],
+        [T::from_f64(0.02), T::from_f64(0.27), T::ZERO],
+        [T::ZERO, T::from_f64(0.01), T::from_f64(0.22)],
+    ];
+    let lapmet = [
+        T::from_f64(0.10),
+        T::from_f64(0.09),
+        T::from_f64(0.05),
+        T::from_f64(0.01),
+        T::from_f64(0.02),
+        T::from_f64(0.005),
+    ];
+    let us = positions::<T>(4, seed ^ 0xABCD);
+
+    for &u in &us {
+        let mut psi_ref = vec![T::ZERO; ns];
+        evaluate_v(Backend::Reference, &t, u, &mut psi_ref);
+        let mut vgh_ref = (
+            vec![T::ZERO; ns],
+            vec![T::ZERO; 3 * ns],
+            vec![T::ZERO; 6 * ns],
+        );
+        evaluate_vgh(
+            Backend::Reference,
+            &t,
+            u,
+            &mut vgh_ref.0,
+            &mut vgh_ref.1,
+            &mut vgh_ref.2,
+        );
+        let mut vgl_ref = (vec![T::ZERO; ns], vec![T::ZERO; 3 * ns], vec![T::ZERO; ns]);
+        evaluate_vgl(
+            Backend::Reference,
+            &t,
+            u,
+            &gmat,
+            &lapmet,
+            &mut vgl_ref.0,
+            &mut vgl_ref.1,
+            &mut vgl_ref.2,
+        );
+        for b in [Backend::Soa, Backend::Simd] {
+            let mut psi = vec![T::ZERO; ns];
+            evaluate_v(b, &t, u, &mut psi);
+            assert_eq!(psi, psi_ref, "{b}: v not bitwise");
+
+            let mut vgh = (
+                vec![T::ZERO; ns],
+                vec![T::ZERO; 3 * ns],
+                vec![T::ZERO; 6 * ns],
+            );
+            evaluate_vgh(b, &t, u, &mut vgh.0, &mut vgh.1, &mut vgh.2);
+            assert_eq!(vgh.0, vgh_ref.0, "{b}: vgh psi not bitwise");
+            assert_eq!(vgh.1, vgh_ref.1, "{b}: vgh grad not bitwise");
+            assert_eq!(vgh.2, vgh_ref.2, "{b}: vgh hess not bitwise");
+
+            let mut vgl = (vec![T::ZERO; ns], vec![T::ZERO; 3 * ns], vec![T::ZERO; ns]);
+            evaluate_vgl(b, &t, u, &gmat, &lapmet, &mut vgl.0, &mut vgl.1, &mut vgl.2);
+            assert_eq!(vgl.0, vgl_ref.0, "{b}: vgl psi not bitwise");
+            assert_eq!(vgl.1, vgl_ref.1, "{b}: vgl grad not bitwise");
+            assert_eq!(vgl.2, vgl_ref.2, "{b}: vgl lap not bitwise");
+        }
+    }
+
+    // Multi-walker fused VGL: bitwise across backends AND bitwise equal to
+    // the per-walker single calls of the same backend.
+    let nw = us.len();
+    let mut mw_ref = (
+        vec![T::ZERO; nw * ns],
+        vec![T::ZERO; 3 * nw * ns],
+        vec![T::ZERO; nw * ns],
+    );
+    mw_evaluate_vgl(
+        Backend::Reference,
+        &t,
+        &us,
+        &gmat,
+        &lapmet,
+        &mut mw_ref.0,
+        &mut mw_ref.1,
+        &mut mw_ref.2,
+    );
+    for b in [Backend::Soa, Backend::Simd] {
+        let mut mw = (
+            vec![T::ZERO; nw * ns],
+            vec![T::ZERO; 3 * nw * ns],
+            vec![T::ZERO; nw * ns],
+        );
+        mw_evaluate_vgl(b, &t, &us, &gmat, &lapmet, &mut mw.0, &mut mw.1, &mut mw.2);
+        assert_eq!(mw.0, mw_ref.0, "{b}: mw psi not bitwise");
+        assert_eq!(mw.1, mw_ref.1, "{b}: mw grad not bitwise");
+        assert_eq!(mw.2, mw_ref.2, "{b}: mw lap not bitwise");
+    }
+}
+
+#[test]
+fn bspline_bitwise_f64_lane_multiple() {
+    bspline_matrix::<f64>(16, 11);
+}
+
+#[test]
+fn bspline_bitwise_f64_with_tail() {
+    bspline_matrix::<f64>(13, 13);
+}
+
+#[test]
+fn bspline_bitwise_f32() {
+    bspline_matrix::<f32>(19, 17);
+}
+
+// -- distance family: bitwise across all backends ---------------------------
+
+struct OrthoCell<T: Real> {
+    edges: [T; 3],
+}
+
+impl<T: Real> MinImageCell<T> for OrthoCell<T> {
+    fn ortho_edges(&self) -> Option<[T; 3]> {
+        Some(self.edges)
+    }
+
+    fn min_image3(&self, dr: [T; 3]) -> [T; 3] {
+        let mut out = dr;
+        for d in 0..3 {
+            let l = self.edges[d];
+            out[d] -= l * (out[d] / l + T::HALF).floor();
+        }
+        out
+    }
+}
+
+/// Non-orthorhombic mock: forces the general (per-partner) fallback path.
+struct SkewCell<T: Real> {
+    edges: [T; 3],
+}
+
+impl<T: Real> MinImageCell<T> for SkewCell<T> {
+    fn ortho_edges(&self) -> Option<[T; 3]> {
+        None
+    }
+
+    fn min_image3(&self, dr: [T; 3]) -> [T; 3] {
+        let mut out = dr;
+        for d in 0..3 {
+            let l = self.edges[d];
+            out[d] -= l * (out[d] / l + T::HALF).floor();
+        }
+        out
+    }
+}
+
+fn distance_matrix<T: Real>(n: usize, seed: u64) {
+    let edges = [T::from_f64(6.0), T::from_f64(7.0), T::from_f64(8.0)];
+    let mut rng = Rng::new(seed);
+    let coords = |rng: &mut Rng, l: T| -> Vec<T> {
+        (0..n)
+            .map(|_| T::from_f64(rng.next()) * l)
+            .collect::<Vec<_>>()
+    };
+    let xs = coords(&mut rng, edges[0]);
+    let ys = coords(&mut rng, edges[1]);
+    let zs = coords(&mut rng, edges[2]);
+    let pos = [T::from_f64(1.1), T::from_f64(5.3), T::from_f64(2.9)];
+
+    let run = |cell_kind: u8, backend: Backend| {
+        let mut dist = vec![T::ZERO; n];
+        let mut disp = [vec![T::ZERO; n], vec![T::ZERO; n], vec![T::ZERO; n]];
+        let [a, b, c] = &mut disp;
+        if cell_kind == 0 {
+            let cell = OrthoCell { edges };
+            distance_row(backend, &cell, &xs, &ys, &zs, pos, n, &mut dist, [a, b, c]);
+        } else {
+            let cell = SkewCell { edges };
+            distance_row(backend, &cell, &xs, &ys, &zs, pos, n, &mut dist, [a, b, c]);
+        }
+        (dist, disp)
+    };
+
+    for cell_kind in [0u8, 1] {
+        let (dist_ref, disp_ref) = run(cell_kind, Backend::Reference);
+        for b in [Backend::Soa, Backend::Simd] {
+            let (dist, disp) = run(cell_kind, b);
+            assert_eq!(dist, dist_ref, "{b}: dist not bitwise (cell {cell_kind})");
+            for d in 0..3 {
+                assert_eq!(
+                    disp[d], disp_ref[d],
+                    "{b}: disp[{d}] not bitwise (cell {cell_kind})"
+                );
+            }
+        }
+        // Sanity: distances really are minimum-imaged (inside half-cell box).
+        for j in 0..n {
+            let r = dist_ref[j].to_f64();
+            assert!(r * r <= 6.0f64.powi(2) + 7.0f64.powi(2) + 8.0f64.powi(2));
+        }
+    }
+}
+
+#[test]
+fn distance_bitwise_f64() {
+    distance_matrix::<f64>(29, 23);
+}
+
+#[test]
+fn distance_bitwise_f32() {
+    distance_matrix::<f32>(21, 29);
+}
+
+// -- J2 family: reference == soa bitwise, simd within tolerance -------------
+
+#[test]
+fn jastrow_reduction_contract() {
+    let n = 27; // 3 lane blocks + tail of 3
+    let mut rng = Rng::new(31);
+    let u: Vec<f64> = rng.row(n);
+    let dud: Vec<f64> = rng.row(n);
+    let lap: Vec<f64> = rng.row(n);
+    let dx: Vec<f64> = rng.row(n);
+    let dy: Vec<f64> = rng.row(n);
+    let dz: Vec<f64> = rng.row(n);
+
+    let r = j2_row_vgl(Backend::Reference, &u, &dud, &lap, &dx, &dy, &dz, n);
+    let s = j2_row_vgl(Backend::Soa, &u, &dud, &lap, &dx, &dy, &dz, n);
+    assert_eq!((r.v, r.g, r.l), (s.v, s.g, s.l), "soa not bitwise");
+
+    let c = j2_row_vgl(Backend::Simd, &u, &dud, &lap, &dx, &dy, &dz, n);
+    let tol = 1e-12 * n as f64;
+    assert!((r.v - c.v).abs() < tol && (r.l - c.l).abs() < tol);
+    for d in 0..3 {
+        assert!((r.g[d] - c.g[d]).abs() < tol);
+    }
+
+    let (rv, rg) = j2_row_vg(Backend::Reference, &u, &dud, &dx, &dy, &dz, n);
+    let (sv, sg) = j2_row_vg(Backend::Soa, &u, &dud, &dx, &dy, &dz, n);
+    assert_eq!((rv, rg), (sv, sg));
+    assert_eq!(
+        j2_row_sum(Backend::Reference, &u, n),
+        j2_row_sum(Backend::Soa, &u, n)
+    );
+    assert!((j2_row_sum(Backend::Simd, &u, n) - rv).abs() < tol);
+}
+
+#[test]
+fn jastrow_slab_updates_bitwise_everywhere() {
+    let n = 22;
+    let mut rng = Rng::new(37);
+    let cu: Vec<f64> = rng.row(n);
+    let ou: Vec<f64> = rng.row(n);
+    let cl: Vec<f64> = rng.row(n);
+    let ol: Vec<f64> = rng.row(n);
+    let vat0: Vec<f64> = rng.row(n);
+    let lat0: Vec<f64> = rng.row(n);
+    let od: Vec<f64> = rng.row(n);
+    let oldd: Vec<f64> = rng.row(n);
+    let cd: Vec<f64> = rng.row(n);
+    let newd: Vec<f64> = rng.row(n);
+    let g0: Vec<f64> = rng.row(n);
+
+    let mut slabs = Vec::new();
+    let mut ks = Vec::new();
+    for b in Backend::ALL {
+        let (mut vat, mut lat, mut g) = (vat0.clone(), lat0.clone(), g0.clone());
+        let (kv, kl) = j2_accept_value_rows(b, &cu, &ou, &cl, &ol, &mut vat, &mut lat, n);
+        let k = j2_accept_grad_row(b, &od, &oldd, &cd, &newd, &mut g, n);
+        slabs.push((vat, lat, g));
+        ks.push((kv, kl, k));
+    }
+    // Slab updates: bitwise on every backend.
+    assert_eq!(slabs[0], slabs[1]);
+    assert_eq!(slabs[0], slabs[2]);
+    // Reductions: reference == soa bitwise; simd within tolerance.
+    assert_eq!(ks[0].0, ks[1].0);
+    assert_eq!(ks[0].1, ks[1].1);
+    assert_eq!(ks[0].2, ks[1].2);
+    let tol = 1e-12 * n as f64;
+    assert!((ks[0].0 - ks[2].0).abs() < tol);
+    assert!((ks[0].1 - ks[2].1).abs() < tol);
+    assert!((ks[0].2 - ks[2].2).abs() < tol);
+}

@@ -19,8 +19,13 @@ const USAGE: &str = "miniqmc: full QMC miniapp (paper §7.1)\n\
      --benchmark graphite|be64|nio32|nio64 (default nio32)\n\
      --size scaled|full (default scaled)\n\
      --code ref|refmp|soa|current|delayedK (default current)\n\
+     --backend reference|soa|simd   kernel backend (default: the\n\
+         QMC_KERNEL_BACKEND environment variable, else soa)\n\
      --threads N --walkers N --steps N --warmup N --tau X --seed N\n\
      --crowd W   lock-step crowds of W walkers (0/absent: per-walker)\n\
+     --fused-refresh   with --crowd: route block refreshes through the\n\
+         fused multi-walker SPO kernel (Bspline-mw-vgl); trades bitwise\n\
+         parity with the per-walker drive for batched throughput\n\
      --driver dmc|vmc (default dmc)\n\
      --profile summary|json|trace:PATH (default summary)\n\
          summary     human-readable run report + hot-spot table\n\
@@ -108,6 +113,12 @@ fn main() {
         parse_code(opts.get_str("code").unwrap_or("current")).unwrap_or_else(|e| fail_usage(&e));
     let mode = parse_profile(opts.get_str("profile").unwrap_or("summary"))
         .unwrap_or_else(|e| fail_usage(&e));
+    // Pin the kernel backend before any engine/table is built — engines
+    // capture it at construction.
+    if let Some(b) = opts.get_str("backend") {
+        let backend = qmc_kernels::Backend::parse(b).unwrap_or_else(|e| fail_usage(&e));
+        qmc_kernels::set_backend(backend);
+    }
     let crowd = opts.get("crowd", 0usize);
     let cfg = RunConfig {
         threads: opts.get("threads", 2usize),
@@ -121,7 +132,11 @@ fn main() {
         } else {
             Batching::PerWalker
         },
+        fused_refresh: opts.has_flag("fused-refresh"),
     };
+    if cfg.fused_refresh && crowd == 0 {
+        fail_usage("--fused-refresh requires --crowd W");
+    }
 
     // In JSON mode stdout carries only the report; everything human goes
     // to stderr.
@@ -142,8 +157,9 @@ fn main() {
         workload.num_orbitals()
     );
     say!(
-        "code = {}, threads = {}, walkers = {}, steps = {} (+{} warmup), tau = {}, batching = {}",
+        "code = {}, backend = {}, threads = {}, walkers = {}, steps = {} (+{} warmup), tau = {}, batching = {}",
         code.label(),
+        qmc_kernels::Backend::current(),
         cfg.threads,
         cfg.walkers,
         cfg.steps,
@@ -261,6 +277,7 @@ fn run_vmc_mode(workload: &Workload, code: CodeVersion, cfg: &RunConfig, mode: &
                 Batching::Crowd(_) => {
                     let slots = (0..cfg.batching.crowd_size()).map(|_| $build).collect();
                     let mut crowd = Crowd::new(slots);
+                    crowd.set_fused_refresh(cfg.fused_refresh);
                     run_vmc_crowd(&mut crowd, &mut walkers, &params)
                 }
             };

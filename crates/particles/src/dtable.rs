@@ -18,6 +18,7 @@
 use crate::lattice::CrystalLattice;
 use qmc_containers::{AlignedVec, Matrix, Pos, Real, TinyVector, VectorSoaContainer};
 use qmc_instrument::{add_flops_bytes, time_kernel, Kernel};
+use qmc_kernels::Backend;
 
 /// Data layout / algorithm selector for distance tables (and the components
 /// built on them).
@@ -191,13 +192,18 @@ pub struct DistTableAASoA<T: Real> {
     /// Candidate row.
     temp_dist: AlignedVec<T>,
     temp_disp: [AlignedVec<T>; 3],
+    /// Kernel backend captured at construction (see `qmc_kernels::Backend`).
+    backend: Backend,
 }
 
 /// Computes one SoA distance row: distances/displacements from `pos` to all
-/// positions in `rsoa`, minimum-imaged. The innermost loops are contiguous
-/// and branch-free, which is what the AoS-to-SoA transformation buys.
+/// positions in `rsoa`, minimum-imaged. The loops themselves live in
+/// `qmc-kernels::distance` behind the backend seam; every backend is
+/// bitwise identical here (branch-free min-image arithmetic, no
+/// cross-partner reduction).
 #[inline]
 fn compute_row<T: Real>(
+    backend: Backend,
     lattice: &CrystalLattice<T>,
     rsoa: &VectorSoaContainer<T, 3>,
     pos: Pos<T>,
@@ -205,38 +211,17 @@ fn compute_row<T: Real>(
     out_dist: &mut [T],
     out_disp: [&mut [T]; 3],
 ) {
-    let xs = rsoa.dim(0);
-    let ys = rsoa.dim(1);
-    let zs = rsoa.dim(2);
-    let [ox, oy, oz] = {
-        let [a, b, c] = out_disp;
-        [a, b, c]
-    };
-    if lattice.is_orthorhombic() {
-        let [lx, ly, lz] = lattice.edges();
-        let (ilx, ily, ilz) = (T::ONE / lx, T::ONE / ly, T::ONE / lz);
-        for j in 0..n {
-            let mut dx = xs[j] - pos[0];
-            let mut dy = ys[j] - pos[1];
-            let mut dz = zs[j] - pos[2];
-            dx -= lx * (dx * ilx + T::HALF).floor();
-            dy -= ly * (dy * ily + T::HALF).floor();
-            dz -= lz * (dz * ilz + T::HALF).floor();
-            ox[j] = dx;
-            oy[j] = dy;
-            oz[j] = dz;
-            out_dist[j] = dx.mul_add(dx, dy.mul_add(dy, dz * dz)).sqrt();
-        }
-    } else {
-        for j in 0..n {
-            let dr =
-                lattice.min_image(TinyVector([xs[j] - pos[0], ys[j] - pos[1], zs[j] - pos[2]]));
-            ox[j] = dr[0];
-            oy[j] = dr[1];
-            oz[j] = dr[2];
-            out_dist[j] = dr.norm();
-        }
-    }
+    qmc_kernels::distance::distance_row(
+        backend,
+        lattice,
+        rsoa.dim(0),
+        rsoa.dim(1),
+        rsoa.dim(2),
+        [pos[0], pos[1], pos[2]],
+        n,
+        out_dist,
+        out_disp,
+    );
 }
 
 impl<T: Real> DistTableAASoA<T> {
@@ -266,6 +251,7 @@ impl<T: Real> DistTableAASoA<T> {
                 AlignedVec::zeros(qmc_containers::padded_len::<T>(n)),
                 AlignedVec::zeros(qmc_containers::padded_len::<T>(n)),
             ],
+            backend: Backend::current(),
         }
     }
 
@@ -282,6 +268,7 @@ impl<T: Real> DistTableAASoA<T> {
     /// Full rebuild: every row recomputed with the vectorized kernel.
     pub fn evaluate(&mut self, rsoa: &VectorSoaContainer<T, 3>) {
         assert_eq!(rsoa.len(), self.n);
+        let backend = self.backend;
         let Self {
             n,
             lattice,
@@ -296,6 +283,7 @@ impl<T: Real> DistTableAASoA<T> {
                 let [a, b, c] = disp;
                 let d = dist.row_mut(i);
                 compute_row(
+                    backend,
                     lattice,
                     rsoa,
                     pos,
@@ -317,6 +305,7 @@ impl<T: Real> DistTableAASoA<T> {
     /// (§7.5: "compute the row k with the current position r_k before
     /// making the move" — this removes the strided column updates).
     pub fn prepare_move(&mut self, rsoa: &VectorSoaContainer<T, 3>, iat: usize) {
+        let backend = self.backend;
         let Self {
             n,
             lattice,
@@ -330,6 +319,7 @@ impl<T: Real> DistTableAASoA<T> {
             let [a, b, c] = disp;
             let d = dist.row_mut(iat);
             compute_row(
+                backend,
                 lattice,
                 rsoa,
                 pos,
@@ -353,6 +343,7 @@ impl<T: Real> DistTableAASoA<T> {
             let d = &mut self.temp_dist.as_mut_slice()[..n];
             let [a, b, c] = &mut self.temp_disp;
             compute_row(
+                self.backend,
                 &self.lattice,
                 rsoa,
                 newpos,
@@ -521,6 +512,7 @@ pub fn mw_candidate_rows<T: Real>(
     assert!(nw <= stage.num_walkers());
     let n = stage.n;
     let stride = stage.stride;
+    let backend = Backend::current();
     time_kernel(kernel, || {
         for w in 0..nw {
             assert_eq!(sources[w].len(), n);
@@ -528,6 +520,7 @@ pub fn mw_candidate_rows<T: Real>(
             let d = &mut stage.dist.as_mut_slice()[base..base + n];
             let [a, b, c] = &mut stage.disp;
             compute_row(
+                backend,
                 lattice,
                 sources[w],
                 newpos[w],
@@ -688,6 +681,8 @@ pub struct DistTableABSoA<T: Real> {
     disp: [Matrix<T>; 3],
     temp_dist: AlignedVec<T>,
     temp_disp: [AlignedVec<T>; 3],
+    /// Kernel backend captured at construction (see `qmc_kernels::Backend`).
+    backend: Backend,
 }
 
 impl<T: Real> DistTableABSoA<T> {
@@ -722,6 +717,7 @@ impl<T: Real> DistTableABSoA<T> {
                 AlignedVec::zeros(np),
                 AlignedVec::zeros(np),
             ],
+            backend: Backend::current(),
         }
     }
 
@@ -746,6 +742,7 @@ impl<T: Real> DistTableABSoA<T> {
     /// Full rebuild from electron SoA positions.
     pub fn evaluate(&mut self, rsoa: &VectorSoaContainer<T, 3>) {
         assert_eq!(rsoa.len(), self.nel);
+        let backend = self.backend;
         let Self {
             nel,
             nion,
@@ -761,6 +758,7 @@ impl<T: Real> DistTableABSoA<T> {
                 let pos = rsoa.get(i);
                 let [a, b, c] = disp;
                 compute_row(
+                    backend,
                     lattice,
                     ions_soa,
                     pos,
@@ -785,6 +783,7 @@ impl<T: Real> DistTableABSoA<T> {
             let d = &mut self.temp_dist.as_mut_slice()[..nion];
             let [a, b, c] = &mut self.temp_disp;
             compute_row(
+                self.backend,
                 &self.lattice,
                 &self.ions_soa,
                 newpos,

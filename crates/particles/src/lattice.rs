@@ -319,6 +319,25 @@ impl<T: Real> CrystalLattice<T> {
     }
 }
 
+/// The lattice surface the `qmc-kernels` distance backends dispatch
+/// through: fast diagonal-cell path when orthorhombic, the general
+/// minimum-image wrap otherwise.
+impl<T: Real> qmc_kernels::MinImageCell<T> for CrystalLattice<T> {
+    #[inline]
+    fn ortho_edges(&self) -> Option<[T; 3]> {
+        if self.orthorhombic {
+            Some([self.a[0][0], self.a[1][1], self.a[2][2]])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn min_image3(&self, dr: [T; 3]) -> [T; 3] {
+        self.min_image(TinyVector(dr)).0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,20 +66,23 @@ const MIXED_PRECISION: [&str; 3] = [
 ];
 
 /// Hot kernel modules (ISSUE rule 2/4): distance tables, B-splines,
-/// Jastrow factors, SPO/determinant kernels and the batched `mw_*` APIs.
-const KERNEL_MODULES: [&str; 6] = [
+/// Jastrow factors, SPO/determinant kernels, the batched `mw_*` APIs and
+/// the swappable-backend kernel library (every backend's entry points are
+/// kernel roots, so a slow-path regression in any backend fires here).
+const KERNEL_MODULES: [&str; 7] = [
     "crates/particles/src/dtable.rs",
     "crates/bspline/src/",
     "crates/wavefunction/src/jastrow/",
     "crates/wavefunction/src/spo.rs",
     "crates/wavefunction/src/batched.rs",
     "crates/linalg/src/",
+    "crates/kernels/src/",
 ];
 
 /// Physics crates (ISSUE rule 5): anything whose results enter the Monte
 /// Carlo estimate. Observability (`instrument`), front-ends (`miniqmc`)
 /// and the bench harness are excluded — wall-clock time there is fine.
-const PHYSICS_CRATES: [&str; 10] = [
+const PHYSICS_CRATES: [&str; 11] = [
     "crates/core/",
     "crates/containers/",
     "crates/linalg/",
@@ -90,6 +93,7 @@ const PHYSICS_CRATES: [&str; 10] = [
     "crates/drivers/",
     "crates/crowd/",
     "crates/workloads/",
+    "crates/kernels/",
 ];
 
 /// Classifies a repo-relative path (forward slashes).
@@ -149,6 +153,12 @@ mod tests {
 
         let estimator = classify("crates/drivers/src/estimator.rs");
         assert!(estimator.physics && !estimator.kernel);
+
+        // The kernel library: every backend file is a hot kernel root and
+        // physics, but not a designated mixed-precision module.
+        let kernels = classify("crates/kernels/src/bspline.rs");
+        assert!(kernels.kernel && kernels.physics && !kernels.mixed_precision);
+        assert!(classify("crates/kernels/src/bin/kernel_verify.rs").exempt);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+// fixture-path: crates/kernels/src/dispatch_fixture.rs
+//! Backend-dispatch chain through the kernel library: the enum match is
+//! hot and clean, one arm stays inside the kernel file (clean — pinned
+//! silent), the other reaches a non-kernel helper that allocates, so the
+//! graph walk must fire at the dispatch arm *and* at the staging fn's own
+//! call site (every fn in a kernel file is a hot root).
+
+/// Kernel-library backend selector (miniature of `Backend`).
+pub enum FixtureBackend {
+    Reference,
+    Soa,
+}
+
+/// Dispatch entry point: the hot root every backend body hangs off.
+pub fn dispatch_row(backend: &FixtureBackend, x: &mut [f64]) -> f64 {
+    match backend {
+        FixtureBackend::Reference => reference_row(x),
+        FixtureBackend::Soa => staged_row(x), //~ hot-path-call
+    }
+}
+
+/// In-file backend body: tight loop, no allocation — the call chain
+/// `dispatch_row -> reference_row` must stay silent.
+fn reference_row(x: &mut [f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in x.iter_mut() {
+        *v *= 0.5;
+        acc += *v;
+    }
+    acc
+}
+
+/// The other backend stages through a non-kernel helper that allocates;
+/// as a hot root of its own, its call site fires too.
+fn staged_row(x: &mut [f64]) -> f64 {
+    let staged = stage_scratch(x.len()); //~ hot-path-call
+    staged + x.iter().sum::<f64>()
+}

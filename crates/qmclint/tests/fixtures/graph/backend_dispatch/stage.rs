@@ -1,0 +1,11 @@
+// fixture-path: crates/workloads/src/stage_fixture.rs
+//! Non-kernel physics helper: the per-file hot-path rule does not apply
+//! here, but the allocation is reachable from the kernel library's
+//! dispatch chain and must be reported back at the kernel call sites.
+
+/// Allocates a staging buffer per call — legal here, hot through the
+/// backend dispatch.
+pub fn stage_scratch(n: usize) -> f64 {
+    let scratch: Vec<f64> = (0..n).map(|_| 1.0).collect();
+    scratch.iter().sum()
+}

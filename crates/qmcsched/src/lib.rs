@@ -285,12 +285,59 @@ pub fn explore_dmc_crowd(cfg: &HarnessConfig) -> DriverParity {
     }
 }
 
+/// Runs the parallel VMC driver once per kernel backend and compares the
+/// trajectories per walker. The kernel library's verification contract
+/// (`qmc-kernels`) documents `reference` and `soa` as bitwise-identical
+/// on every kernel family, so the whole VMC trajectory must digest
+/// equal to the bit — this case turns that documented contract into a
+/// gated artifact. `simd` is deliberately excluded: its J2 kernel only
+/// promises a tolerance, so trajectories may legitimately diverge.
+pub fn explore_backends(cfg: &HarnessConfig) -> DriverParity {
+    let w = workload(cfg.seed);
+    let params = VmcParams {
+        blocks: cfg.steps,
+        steps_per_block: 3,
+        tau: 0.3,
+        measure_every: 1,
+        batching: Batching::PerWalker,
+    };
+    let prev = qmc_kernels::Backend::current();
+    let runs = [qmc_kernels::Backend::Reference, qmc_kernels::Backend::Soa]
+        .into_iter()
+        .map(|backend| {
+            // Engines capture the backend at construction, so it must be
+            // pinned before the build.
+            qmc_kernels::set_backend(backend);
+            let mut engines: Vec<QmcEngine<f32>> = (0..cfg.threads)
+                .map(|_| w.build_engine_f32(CodeVersion::Current))
+                .collect();
+            let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
+            let res = run_vmc_parallel(&mut engines, &mut walkers, &params);
+            let mut scalars = Fnv::new();
+            scalars.f64(res.energy.mean());
+            scalars.f64(res.acceptance);
+            scalars.u64(res.samples);
+            RunFingerprint {
+                schedule: format!("backend:{}", backend.label()),
+                walkers: walkers.iter().map(walker_digest).collect(),
+                scalars: scalars.value(),
+            }
+        })
+        .collect();
+    qmc_kernels::set_backend(prev);
+    DriverParity {
+        driver: "vmc-backends".into(),
+        runs,
+    }
+}
+
 /// Runs every driver exploration at the default harness size.
 pub fn explore_all(cfg: &HarnessConfig) -> Vec<DriverParity> {
     vec![
         explore_vmc(cfg),
         explore_dmc_parallel(cfg),
         explore_dmc_crowd(cfg),
+        explore_backends(cfg),
     ]
 }
 
@@ -353,6 +400,23 @@ mod tests {
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), s.len(), "duplicate schedule labels");
+    }
+
+    #[test]
+    fn reference_and_soa_backends_agree_bitwise() {
+        // The kernel library documents reference <-> soa as bitwise on
+        // every kernel family; a whole VMC trajectory must therefore
+        // digest equal per walker.
+        let p = explore_backends(&HarnessConfig::default());
+        assert_eq!(p.runs.len(), 2);
+        assert!(
+            p.parity(),
+            "reference vs soa backend trajectories diverged: {:?}",
+            p.runs
+                .iter()
+                .map(|r| (&r.schedule, r.scalars))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

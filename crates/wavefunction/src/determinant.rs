@@ -163,11 +163,53 @@ impl<T: Real> DiracDeterminant<T> {
             d.flush();
         }
     }
+
+    /// Second half of [`WaveFunctionComponent::evaluate_log`]: with
+    /// `psi_m`/`g_m`/`l_m` already filled, reinverts in double precision
+    /// and accumulates G/L of `log|det|` into the particle set. Shared by
+    /// the scalar and crowd-batched from-scratch paths.
+    fn finish_log(&mut self, p: &mut ParticleSet<T>) -> f64 {
+        let nel = self.nel;
+        let minv_t64 = self.reinvert();
+        for i in 0..nel {
+            let mi = minv_t64.row(i);
+            let mut g = TinyVector::<f64, 3>::zero();
+            let mut lap: f64 = 0.0;
+            for j in 0..nel {
+                for d in 0..3 {
+                    g[d] += self.g_m[d][(i, j)].to_f64() * mi[j];
+                }
+                lap += self.l_m[(i, j)].to_f64() * mi[j];
+            }
+            p.g[self.first + i] += g;
+            p.l[self.first + i] += lap - g.norm2();
+        }
+        self.log_value
+    }
+
+    /// Copies one walker's slab slices out of the multi-walker VGL batch
+    /// into row `i` of this determinant's Slater/gradient/Laplacian
+    /// matrices. `psi`/`lap` are `ns`-long, `grad` is `3 * ns` (three `ns`
+    /// slabs), all for this walker only.
+    fn scatter_row(&mut self, i: usize, ns: usize, psi: &[T], grad: &[T], lap: &[T]) {
+        let nel = self.nel;
+        self.psi_m.row_mut(i).copy_from_slice(&psi[..nel]);
+        for d in 0..3 {
+            self.g_m[d]
+                .row_mut(i)
+                .copy_from_slice(&grad[d * ns..d * ns + nel]);
+        }
+        self.l_m.row_mut(i).copy_from_slice(&lap[..nel]);
+    }
 }
 
 impl<T: Real> WaveFunctionComponent<T> for DiracDeterminant<T> {
     fn name(&self) -> &'static str {
         "DiracDeterminant"
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 
     fn evaluate_log(&mut self, p: &mut ParticleSet<T>) -> f64 {
@@ -202,21 +244,89 @@ impl<T: Real> WaveFunctionComponent<T> for DiracDeterminant<T> {
         }
         // Accumulate gradient/Laplacian of log|det| per electron using the
         // fresh double-precision inverse.
-        let minv_t64 = self.reinvert();
-        for i in 0..nel {
-            let mi = minv_t64.row(i);
-            let mut g = TinyVector::<f64, 3>::zero();
-            let mut lap: f64 = 0.0;
-            for j in 0..nel {
-                for d in 0..3 {
-                    g[d] += self.g_m[d][(i, j)].to_f64() * mi[j];
-                }
-                lap += self.l_m[(i, j)].to_f64() * mi[j];
+        self.finish_log(p)
+    }
+
+    /// Fused crowd refresh: one [`SpoSet::mw_evaluate_vgl`] call per
+    /// electron row covering every walker in the crowd, scattered into each
+    /// walker's Slater/G/L matrices, then the per-walker reinvert + G/L
+    /// accumulation of the scalar path. Falls back to the scalar loop when
+    /// the siblings are not determinants over the same electron range
+    /// (heterogeneous crowds never occur in practice, but the fallback
+    /// keeps the contract total).
+    ///
+    /// Uses the batched SPO entry point, which for B-splines is *not*
+    /// bit-identical to the scalar `vgh`-then-transform path — this method
+    /// is only reachable through opt-in batched drivers (`fused_refresh`).
+    fn mw_evaluate_log_batched(
+        &mut self,
+        rest: &mut [&mut (dyn WaveFunctionComponent<T> + 'static)],
+        psets: &mut [&mut ParticleSet<T>],
+        logs: &mut [f64],
+    ) {
+        let nw = rest.len() + 1;
+        debug_assert_eq!(psets.len(), nw);
+        debug_assert_eq!(logs.len(), nw);
+        // Every sibling must be a determinant over the same electron range;
+        // any mismatch sends the whole crowd down the bit-identical scalar
+        // path.
+        let (first, nel, ns) = (self.first, self.nel, self.spo.size());
+        let fusable = rest.iter_mut().all(|c| {
+            c.as_any_mut()
+                .downcast_mut::<DiracDeterminant<T>>()
+                .is_some_and(|d| d.first == first && d.nel == nel)
+        });
+        if !fusable {
+            logs[0] += self.evaluate_log(psets[0]);
+            for ((c, p), l) in rest
+                .iter_mut()
+                .zip(psets[1..].iter_mut())
+                .zip(logs[1..].iter_mut())
+            {
+                *l += c.evaluate_log(p);
             }
-            p.g[self.first + i] += g;
-            p.l[self.first + i] += lap - g.norm2();
+            return;
         }
-        self.log_value
+        let mut pos = vec![Pos::<T>::zero(); nw];
+        let mut psi = vec![T::default(); nw * ns];
+        let mut grad = vec![T::default(); nw * 3 * ns];
+        let mut lap = vec![T::default(); nw * ns];
+        for i in 0..nel {
+            for (w, p) in psets.iter().enumerate() {
+                pos[w] = p.pos(first + i);
+            }
+            // One fused multi-walker orbital evaluation for row `i` of
+            // every walker (the `Bspline-mw-vgl` kernel for spline SPOs).
+            self.spo
+                .mw_evaluate_vgl(&pos, &mut psi, &mut grad, &mut lap);
+            self.scatter_row(i, ns, &psi[..ns], &grad[..3 * ns], &lap[..ns]);
+            for (k, c) in rest.iter_mut().enumerate() {
+                let w = k + 1;
+                let d = c
+                    .as_any_mut()
+                    .downcast_mut::<DiracDeterminant<T>>()
+                    .expect("checked above");
+                d.scatter_row(
+                    i,
+                    ns,
+                    &psi[w * ns..(w + 1) * ns],
+                    &grad[w * 3 * ns..(w + 1) * 3 * ns],
+                    &lap[w * ns..(w + 1) * ns],
+                );
+            }
+        }
+        logs[0] += self.finish_log(psets[0]);
+        for ((c, p), l) in rest
+            .iter_mut()
+            .zip(psets[1..].iter_mut())
+            .zip(logs[1..].iter_mut())
+        {
+            let d = c
+                .as_any_mut()
+                .downcast_mut::<DiracDeterminant<T>>()
+                .expect("checked above");
+            *l += d.finish_log(p);
+        }
     }
 
     fn ratio(&mut self, p: &ParticleSet<T>, iat: usize) -> f64 {

@@ -100,6 +100,10 @@ impl<T: Real> WaveFunctionComponent<T> for J1Ref<T> {
         "J1-ref"
     }
 
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
     fn evaluate_log(&mut self, p: &mut ParticleSet<T>) -> f64 {
         time_kernel(Kernel::J1, || {
             // qmclint: allow(hot-path) — reference-layout baseline allocates its G/L

@@ -108,6 +108,10 @@ impl<T: Real> WaveFunctionComponent<T> for J1Soa<T> {
         "J1-soa"
     }
 
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
     fn evaluate_log(&mut self, p: &mut ParticleSet<T>) -> f64 {
         let (n, nion) = (self.n, self.nion);
         time_kernel(Kernel::J1, || {

@@ -94,6 +94,10 @@ impl<T: Real> WaveFunctionComponent<T> for J2Ref<T> {
         "J2-ref"
     }
 
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
     fn evaluate_log(&mut self, p: &mut ParticleSet<T>) -> f64 {
         let n = self.n;
         time_kernel(Kernel::J2, || {

@@ -5,12 +5,21 @@
 //! and shuffle the `5 N^2` matrices. This implementation keeps only the
 //! per-electron accumulators (value, gradient, Laplacian of `log psi`),
 //! `5 N sizeof(T)` per walker, maintained by forward updates on acceptance.
+//!
+//! The functor batch evaluations stay here (cutoff branch + group
+//! dispatch); the row reductions and forward-update slabs run in
+//! `qmc_kernels::jastrow` behind the backend seam captured at
+//! construction.
 
 use super::{evaluate_v_batch, evaluate_vgl_batch, PairFunctors};
 use crate::buffer::WalkerBuffer;
 use crate::traits::WaveFunctionComponent;
 use qmc_containers::{padded_len, AlignedVec, Pos, Real, TinyVector, VectorSoaContainer};
 use qmc_instrument::{add_flops_bytes, time_kernel, Kernel};
+use qmc_kernels::jastrow::{
+    j2_accept_grad_row, j2_accept_value_rows, j2_row_sum, j2_row_vg, j2_row_vgl,
+};
+use qmc_kernels::Backend;
 use qmc_particles::ParticleSet;
 
 /// Optimized (SoA, compute-on-the-fly) two-body Jastrow factor.
@@ -34,6 +43,8 @@ pub struct J2Soa<T: Real> {
     cur_vat: f64,
     cur_has_grad: bool,
     log_value: f64,
+    /// Kernel backend captured at construction (see `qmc_kernels::Backend`).
+    backend: Backend,
 }
 
 impl<T: Real> J2Soa<T> {
@@ -58,6 +69,7 @@ impl<T: Real> J2Soa<T> {
             cur_vat: 0.0,
             cur_has_grad: false,
             log_value: 0.0,
+            backend: Backend::current(),
         }
     }
 
@@ -106,6 +118,10 @@ impl<T: Real> WaveFunctionComponent<T> for J2Soa<T> {
         "J2-soa"
     }
 
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
     fn evaluate_log(&mut self, p: &mut ParticleSet<T>) -> f64 {
         let n = self.n;
         time_kernel(Kernel::J2, || {
@@ -124,22 +140,20 @@ impl<T: Real> WaveFunctionComponent<T> for J2Soa<T> {
                     &mut self.cur_lap.as_mut_slice()[..n],
                 );
                 let (dx, dy, dz) = (t.disp_row(0, i), t.disp_row(1, i), t.disp_row(2, i));
-                let (mut v, mut gx, mut gy, mut gz, mut l) =
-                    (T::ZERO, T::ZERO, T::ZERO, T::ZERO, T::ZERO);
-                let cu = &self.cur_u.as_slice()[..n];
-                let cd = &self.cur_dud.as_slice()[..n];
-                let cl = &self.cur_lap.as_slice()[..n];
-                for j in 0..n {
-                    v += cu[j];
-                    gx = cd[j].mul_add(dx[j], gx);
-                    gy = cd[j].mul_add(dy[j], gy);
-                    gz = cd[j].mul_add(dz[j], gz);
-                    l += cl[j];
-                }
-                self.vat[i] = v;
-                self.gat.set(i, TinyVector([gx, gy, gz]));
-                self.lat[i] = -l;
-                logpsi -= 0.5 * v.to_f64();
+                let row = j2_row_vgl(
+                    self.backend,
+                    self.cur_u.as_slice(),
+                    self.cur_dud.as_slice(),
+                    self.cur_lap.as_slice(),
+                    dx,
+                    dy,
+                    dz,
+                    n,
+                );
+                self.vat[i] = row.v;
+                self.gat.set(i, TinyVector(row.g));
+                self.lat[i] = -row.l;
+                logpsi -= 0.5 * row.v.to_f64();
             }
             add_flops_bytes(
                 Kernel::J2,
@@ -167,10 +181,7 @@ impl<T: Real> WaveFunctionComponent<T> for J2Soa<T> {
                 t.temp_dist(),
                 &mut self.cur_u.as_mut_slice()[..self.n],
             );
-            let mut v = T::ZERO;
-            for &u in &self.cur_u.as_slice()[..self.n] {
-                v += u;
-            }
+            let v = j2_row_sum(self.backend, self.cur_u.as_slice(), self.n);
             self.cur_vat = v.to_f64();
             self.cur_has_grad = false;
             add_flops_bytes(
@@ -197,18 +208,18 @@ impl<T: Real> WaveFunctionComponent<T> for J2Soa<T> {
                 &mut self.cur_lap.as_mut_slice()[..n],
             );
             let (tx, ty, tz) = (t.temp_disp(0), t.temp_disp(1), t.temp_disp(2));
-            let (mut v, mut gx, mut gy, mut gz) = (T::ZERO, T::ZERO, T::ZERO, T::ZERO);
-            let cu = &self.cur_u.as_slice()[..n];
-            let cd = &self.cur_dud.as_slice()[..n];
-            for j in 0..n {
-                v += cu[j];
-                gx = cd[j].mul_add(tx[j], gx);
-                gy = cd[j].mul_add(ty[j], gy);
-                gz = cd[j].mul_add(tz[j], gz);
-            }
+            let (v, g) = j2_row_vg(
+                self.backend,
+                self.cur_u.as_slice(),
+                self.cur_dud.as_slice(),
+                tx,
+                ty,
+                tz,
+                n,
+            );
             self.cur_vat = v.to_f64();
             self.cur_has_grad = true;
-            *grad += TinyVector([gx.to_f64(), gy.to_f64(), gz.to_f64()]);
+            *grad += TinyVector([g[0].to_f64(), g[1].to_f64(), g[2].to_f64()]);
             add_flops_bytes(
                 Kernel::J2,
                 (n * 26) as u64,
@@ -259,34 +270,22 @@ impl<T: Real> WaveFunctionComponent<T> for J2Soa<T> {
             let od = &self.old_dud.as_slice()[..n];
             let ol = &self.old_lap.as_slice()[..n];
 
-            // Forward update of neighbour accumulators (vectorized slabs).
-            let vat = self.vat.as_mut_slice();
-            let lat = self.lat.as_mut_slice();
-            let (mut kx, mut ky, mut kz, mut kv, mut kl) =
-                (T::ZERO, T::ZERO, T::ZERO, T::ZERO, T::ZERO);
-            for j in 0..n {
-                vat[j] += cu[j] - ou[j];
-                kv += cu[j];
-                kl += cl[j];
-            }
-            let gx = self.gat.dim_mut(0);
-            for j in 0..n {
-                gx[j] += od[j] * ox[j] - cd[j] * tx[j];
-                kx = cd[j].mul_add(tx[j], kx);
-            }
-            let gy = self.gat.dim_mut(1);
-            for j in 0..n {
-                gy[j] += od[j] * oy[j] - cd[j] * ty[j];
-                ky = cd[j].mul_add(ty[j], ky);
-            }
-            let gz = self.gat.dim_mut(2);
-            for j in 0..n {
-                gz[j] += od[j] * oz[j] - cd[j] * tz[j];
-                kz = cd[j].mul_add(tz[j], kz);
-            }
-            for j in 0..n {
-                lat[j] += ol[j] - cl[j];
-            }
+            // Forward update of neighbour accumulators (vectorized slabs in
+            // the kernel library; slab updates bitwise on every backend).
+            let backend = self.backend;
+            let (kv, kl) = j2_accept_value_rows(
+                backend,
+                cu,
+                ou,
+                cl,
+                ol,
+                self.vat.as_mut_slice(),
+                self.lat.as_mut_slice(),
+                n,
+            );
+            let kx = j2_accept_grad_row(backend, od, ox, cd, tx, self.gat.dim_mut(0), n);
+            let ky = j2_accept_grad_row(backend, od, oy, cd, ty, self.gat.dim_mut(1), n);
+            let kz = j2_accept_grad_row(backend, od, oz, cd, tz, self.gat.dim_mut(2), n);
             // The moved electron's accumulators from the new row.
             self.vat[iat] = kv;
             self.gat.set(iat, TinyVector([kx, ky, kz]));

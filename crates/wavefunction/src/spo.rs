@@ -10,6 +10,7 @@
 use qmc_bspline::MultiBspline3D;
 use qmc_containers::{Pos, Real, TinyVector};
 use qmc_instrument::{add_flops_bytes, time_kernel, Kernel};
+use qmc_kernels::Backend;
 use qmc_particles::CrystalLattice;
 use std::sync::Arc;
 
@@ -69,6 +70,10 @@ pub struct BsplineSpo<T: Real> {
     table: Arc<MultiBspline3D<T>>,
     lattice: CrystalLattice<T>,
     layout: SpoLayout,
+    /// Kernel backend captured at construction: the `Ref` layout pins the
+    /// scalar reference backend; the `Soa` layout takes the process-wide
+    /// selection (`QMC_KERNEL_BACKEND` / `--backend`).
+    backend: Backend,
     /// Precontracted fractional-to-Cartesian gradient matrix (fused
     /// batched-VGL path).
     gmat: [[T; 3]; 3],
@@ -90,6 +95,7 @@ impl<T: Real> Clone for BsplineSpo<T> {
             table: Arc::clone(&self.table),
             lattice: self.lattice.clone(),
             layout: self.layout,
+            backend: self.backend,
             gmat: self.gmat,
             lapmet: self.lapmet,
             scratch_grad: self.scratch_grad.clone(),
@@ -109,10 +115,15 @@ impl<T: Real> BsplineSpo<T> {
         let ns = table.num_splines();
         let gmat = lattice.grad_transform();
         let lapmet = lattice.laplacian_metric();
+        let backend = match layout {
+            SpoLayout::Ref => Backend::Reference,
+            SpoLayout::Soa => Backend::current(),
+        };
         Self {
             table,
             lattice,
             layout,
+            backend,
             gmat,
             lapmet,
             scratch_grad: vec![T::ZERO; 3 * ns],
@@ -140,9 +151,8 @@ impl<T: Real> SpoSet<T> for BsplineSpo<T> {
     fn evaluate_v(&mut self, pos: Pos<T>, psi: &mut [T]) {
         let u = self.to_frac(pos);
         let ns = self.size();
-        time_kernel(Kernel::BsplineV, || match self.layout {
-            SpoLayout::Ref => self.table.evaluate_v_ref(u, psi),
-            SpoLayout::Soa => self.table.evaluate_v(u, psi),
+        time_kernel(Kernel::BsplineV, || {
+            self.table.evaluate_v_backend(self.backend, u, psi);
         });
         add_flops_bytes(
             Kernel::BsplineV,
@@ -158,14 +168,13 @@ impl<T: Real> SpoSet<T> for BsplineSpo<T> {
         let Self {
             table,
             lattice,
-            layout,
+            backend,
             scratch_grad: fg,
             scratch_hess: fh,
             ..
         } = self;
-        time_kernel(Kernel::BsplineVGH, || match layout {
-            SpoLayout::Ref => table.evaluate_vgh_ref(u, psi, fg, fh),
-            SpoLayout::Soa => table.evaluate_vgh(u, psi, fg, fh),
+        time_kernel(Kernel::BsplineVGH, || {
+            table.evaluate_vgh_backend(*backend, u, psi, fg, fh);
         });
         add_flops_bytes(
             Kernel::BsplineVGH,
@@ -216,8 +225,15 @@ impl<T: Real> SpoSet<T> for BsplineSpo<T> {
             *u = self.to_frac(p);
         }
         time_kernel(Kernel::BsplineMwVGL, || {
-            self.table
-                .mw_evaluate_vgl(&us[..nw], &self.gmat, &self.lapmet, psi, grad, lap);
+            self.table.mw_evaluate_vgl_backend(
+                self.backend,
+                &us[..nw],
+                &self.gmat,
+                &self.lapmet,
+                psi,
+                grad,
+                lap,
+            );
         });
         self.scratch_frac = us;
         add_flops_bytes(

@@ -73,4 +73,40 @@ pub trait WaveFunctionComponent<T: Real>: Send {
     /// (QMCPACK's `copyFromBuffer`). The particle set's positions and
     /// distance tables must already reflect the walker.
     fn load_state(&mut self, buf: &mut WalkerBuffer<T>);
+
+    /// Escape hatch for crowd-level batching: lets a component recognize
+    /// its siblings across walkers (e.g. a determinant downcasting the
+    /// other walkers' determinants to fuse their orbital evaluations).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Crowd-batched from-scratch evaluation: `self` is walker 0's
+    /// component, `rest[k]` is walker `k + 1`'s instance of the *same*
+    /// component, and `psets`/`logs` are walker-aligned (length
+    /// `rest.len() + 1`). Adds each walker's `log |psi_c|` into its `logs`
+    /// slot and accumulates G/L into its particle set, exactly as
+    /// [`Self::evaluate_log`] does.
+    ///
+    /// The default loops the scalar path and is bit-identical to it;
+    /// overrides (the fused multi-walker determinant) may regroup floating
+    /// point and are only reachable through opt-in batched drivers.
+    // qmclint: allow(timer-coverage) — the default body is a pure loop over
+    // `evaluate_log`, whose leaf kernels carry the timers; wrapping the loop
+    // would double-count every scalar kernel under a second category.
+    fn mw_evaluate_log_batched(
+        &mut self,
+        rest: &mut [&mut (dyn WaveFunctionComponent<T> + 'static)],
+        psets: &mut [&mut ParticleSet<T>],
+        logs: &mut [f64],
+    ) {
+        debug_assert_eq!(psets.len(), rest.len() + 1);
+        debug_assert_eq!(logs.len(), rest.len() + 1);
+        logs[0] += self.evaluate_log(psets[0]);
+        for ((c, p), l) in rest
+            .iter_mut()
+            .zip(psets[1..].iter_mut())
+            .zip(logs[1..].iter_mut())
+        {
+            *l += c.evaluate_log(p);
+        }
+    }
 }

@@ -150,10 +150,14 @@ impl<T: Real> TrialWaveFunction<T> {
     /// Batched full evaluation over a crowd of walkers. Entry `w` of each
     /// slice belongs to walker `w`; `logs[w]` receives `log |Psi_T|`.
     ///
-    /// Components are batched via [`BatchedWaveFunctionComponent`] so a
-    /// leaf override (e.g. a fused multi-walker SPO kernel) benefits every
-    /// walker at once; with the default scalar loops this is bit-identical
-    /// to calling [`Self::evaluate_log`] per walker.
+    /// Each component batches via
+    /// [`WaveFunctionComponent::mw_evaluate_log_batched`]: Jastrows take
+    /// the default scalar loop (bit-identical to [`Self::evaluate_log`]
+    /// per walker), while the determinant fuses orbital rows through
+    /// [`crate::spo::SpoSet::mw_evaluate_vgl`] — for spline SPOs that
+    /// kernel regroups floating point, so this entry point is only wired
+    /// into opt-in batched drivers (`fused_refresh`), never the default
+    /// lock-step crowd.
     pub fn mw_evaluate_log(
         batch: &mut [&mut Self],
         psets: &mut [&mut ParticleSet<T>],
@@ -166,11 +170,15 @@ impl<T: Real> TrialWaveFunction<T> {
         logs.fill(0.0);
         let nc = batch.first().map_or(0, |t| t.components.len());
         for ci in 0..nc {
-            let mut comps: Vec<&mut dyn WaveFunctionComponent<T>> = batch
+            let mut comps: Vec<&mut (dyn WaveFunctionComponent<T> + '_)> = batch
                 .iter_mut()
                 .map(|t| t.components[ci].as_mut())
                 .collect();
-            BatchedWaveFunctionComponent::mw_evaluate_log(&mut comps, psets, logs);
+            // Walker 0's instance leads and may fuse its siblings (e.g. the
+            // determinant routing orbital rows through the multi-walker SPO
+            // kernel); the default loops the scalar path bit-identically.
+            let (leader, rest) = comps.split_first_mut().expect("non-empty crowd");
+            leader.mw_evaluate_log_batched(rest, psets, logs);
         }
         for (t, &log) in batch.iter_mut().zip(logs.iter()) {
             t.log_value = log;

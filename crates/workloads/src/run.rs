@@ -28,6 +28,12 @@ pub struct RunConfig {
     pub seed: u64,
     /// Walker batching: per-walker engine streaming or lock-step crowds.
     pub batching: Batching,
+    /// Fused block refreshes for crowd batching: recomputes route through
+    /// the multi-walker SPO kernel (`Bspline-mw-vgl`) instead of the
+    /// per-slot scalar path. Off by default — the fused spline kernel
+    /// regroups floating point, so it gives up the crowd's bitwise parity
+    /// with the per-walker drivers. Ignored for per-walker batching.
+    pub fused_refresh: bool,
 }
 
 impl Default for RunConfig {
@@ -40,6 +46,7 @@ impl Default for RunConfig {
             tau: 0.005,
             seed: 0xBE_EF,
             batching: Batching::PerWalker,
+            fused_refresh: false,
         }
     }
 }
@@ -117,6 +124,7 @@ impl RunOutcome {
         RunReport {
             benchmark: workload.spec.name.to_string(),
             code: self.label.clone(),
+            kernel_backend: qmc_kernels::Backend::current().label().to_string(),
             electrons: workload.num_electrons(),
             ions: workload.num_ions(),
             threads: cfg.threads,
@@ -180,7 +188,8 @@ fn run_generic<T: Real>(
             profile = p;
         }
         Batching::Crowd(_) => {
-            let sched = CrowdScheduler::new(threads, cfg.batching.crowd_size());
+            let sched = CrowdScheduler::new(threads, cfg.batching.crowd_size())
+                .with_fused_refresh(cfg.fused_refresh);
             let mut crowds = sched.build_crowds(build_engine);
             let t0 = std::time::Instant::now();
             let (r, p) = run_dmc_crowd(&mut crowds, &mut walkers, &params);
@@ -247,6 +256,43 @@ mod tests {
             assert!(out.walker_bytes > 0 && out.engine_bytes > 0);
             assert!(out.throughput() > 0.0);
         }
+    }
+
+    #[test]
+    fn fused_refresh_drives_the_mw_spo_kernel() {
+        // The fused block refresh is the product path that keeps the
+        // `Bspline-mw-vgl` column live; without it the batched SPO kernel
+        // must stay silent (the crowd remains bitwise-per-walker).
+        let w = Workload::new(Benchmark::Graphite, Size::Scaled, 5);
+        let base = RunConfig {
+            threads: 1,
+            walkers: 2,
+            steps: 3,
+            warmup: 1,
+            tau: 0.002,
+            seed: 7,
+            batching: Batching::Crowd(2),
+            fused_refresh: false,
+        };
+        let fused_cfg = RunConfig {
+            fused_refresh: true,
+            ..base
+        };
+        let scalar = run_dmc_benchmark(&w, CodeVersion::Current, &base);
+        let fused = run_dmc_benchmark(&w, CodeVersion::Current, &fused_cfg);
+        let k = qmc_instrument::Kernel::BsplineMwVGL;
+        assert_eq!(scalar.profile.get(k).calls, 0, "scalar crowd must not fuse");
+        assert!(fused.profile.get(k).calls > 0, "fused crowd must batch SPO");
+        assert_eq!(scalar.samples, fused.samples);
+        assert!(fused.energy.0.is_finite());
+        // Same physics to well under statistical noise: only the FP
+        // regrouping of the fused spline kernel separates the runs.
+        assert!(
+            (scalar.energy.0 - fused.energy.0).abs() < 1e-3,
+            "scalar {} vs fused {}",
+            scalar.energy.0,
+            fused.energy.0
+        );
     }
 
     #[test]
