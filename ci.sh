@@ -47,24 +47,72 @@ for backend in reference soa simd; do
 done
 rm -f KERNEL_VERIFY.log
 
-echo "== bench snapshot (BENCH_pr6.json) =="
+echo "== checkpoint/resume parity smoke (kill at step 3, resume to 6) =="
+# A run checkpointed at an interior generation and restarted from the
+# file must end with the same per-walker FNV-1a population hash as the
+# run that was never killed — for per-walker AND crowd batching. The
+# stream file must be valid NDJSON while we're at it.
+CK_DIR=$(mktemp -d)
+trap 'rm -rf "$CK_DIR"' EXIT
+for batch_args in "" "--crowd 2"; do
+    # shellcheck disable=SC2086  # batch_args is deliberately word-split
+    straight=$(./target/release/miniqmc --benchmark graphite --threads 2 \
+        --walkers 4 --steps 6 --warmup 1 --seed 11 $batch_args \
+        | grep '^walker-hash')
+    # shellcheck disable=SC2086
+    ./target/release/miniqmc --benchmark graphite --threads 2 \
+        --walkers 4 --steps 3 --warmup 1 --seed 11 $batch_args \
+        --checkpoint "$CK_DIR/ck.qmc:3" --stream "$CK_DIR/run.ndjson" > /dev/null
+    # shellcheck disable=SC2086
+    resumed=$(./target/release/miniqmc --benchmark graphite --threads 2 \
+        --walkers 4 --steps 6 --warmup 1 --seed 11 $batch_args \
+        --resume "$CK_DIR/ck.qmc" --stream "$CK_DIR/run.ndjson" \
+        | grep '^walker-hash')
+    if [ "$straight" != "$resumed" ]; then
+        echo "ci: checkpoint/resume hash mismatch (${batch_args:-per-walker}):" >&2
+        echo "ci:   straight: $straight" >&2
+        echo "ci:   resumed:  $resumed" >&2
+        exit 1
+    fi
+    echo "ci: ${batch_args:-per-walker} resume bitwise ($straight)"
+    # Every stream line parses as JSON, and the resumed segment announced
+    # where it picked up.
+    python3 - "$CK_DIR/run.ndjson" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert any(r.get("event") == "checkpoint" for r in lines), "no checkpoint record"
+assert any(r.get("resumed_from_step") == 3 for r in lines), "no resumed start record"
+EOF
+    rm -f "$CK_DIR/ck.qmc" "$CK_DIR/run.ndjson"
+done
+# A corrupt resume file must fail with a diagnostic, not a panic.
+echo "garbage" > "$CK_DIR/bad.qmc"
+if ./target/release/miniqmc --benchmark graphite --walkers 2 --steps 2 \
+    --resume "$CK_DIR/bad.qmc" 2> "$CK_DIR/err.log"; then
+    echo "ci: corrupt resume file was accepted" >&2
+    exit 1
+fi
+grep -q "cannot resume" "$CK_DIR/err.log"
+! grep -q "panicked" "$CK_DIR/err.log"
+
+echo "== bench snapshot (BENCH_pr7.json) =="
 cargo run --release -q -p qmc-bench --bin bench_snapshot -- \
-    --threads 2 --walkers 4 --steps 4 --reps 2 > BENCH_pr6.json
-grep -q '"schema":"qmc-bench-snapshot/2"' BENCH_pr6.json
+    --threads 2 --walkers 4 --steps 4 --reps 2 > BENCH_pr7.json
+grep -q '"schema":"qmc-bench-snapshot/2"' BENCH_pr7.json
 # The crowd run must exercise the fused multi-walker spline kernel: a
 # zero `Bspline-mw-vgl` column means the batched path silently fell back.
 python3 - <<'EOF'
 import json
-doc = json.load(open("BENCH_pr6.json"))
+doc = json.load(open("BENCH_pr7.json"))
 crowd = [r for r in doc["runs"] if r["batching"] == "crowd"]
-assert crowd, "no crowd-batched run in BENCH_pr6.json"
+assert crowd, "no crowd-batched run in BENCH_pr7.json"
 mw = crowd[0]["kernels"]["Bspline-mw-vgl"]
 assert mw > 0.0, f"Bspline-mw-vgl is {mw}: the crowd run did not drive the batched kernel"
 print(f"ci: crowd Bspline-mw-vgl = {mw:.4f}s (nonzero, batched path live)")
 EOF
 
 echo "== bench series gate (vs previous PR snapshot) =="
-cargo run --release -q -p qmc-bench --bin bench_compare -- BENCH_pr5.json BENCH_pr6.json
+cargo run --release -q -p qmc-bench --bin bench_compare -- BENCH_pr6.json BENCH_pr7.json
 
 echo "== bench smoke (crowd kernels) =="
 cargo bench -p qmc-bench --bench bench_crowd -- --test

@@ -5,7 +5,7 @@ use crate::crowd::Crowd;
 use crate::scheduler::CrowdScheduler;
 use parking_lot::Mutex;
 use qmc_containers::Real;
-use qmc_drivers::{chunks_mut, BranchController, DmcParams, DmcResult, ScalarEstimator, Walker};
+use qmc_drivers::{chunks_mut, DmcParams, DmcResult, DmcState, RunControl, Walker};
 use qmc_instrument::{drain_thread_profile, span, span_lazy, ProfileSet};
 
 /// Runs DMC across a crew of crowds (one crowd per thread). Walker
@@ -18,75 +18,72 @@ pub fn run_dmc_crowd<T: Real>(
     walkers: &mut Vec<Walker<T>>,
     params: &DmcParams,
 ) -> (DmcResult, ProfileSet) {
+    run_dmc_crowd_controlled(crowds, walkers, params, None, &mut RunControl::none())
+}
+
+/// [`run_dmc_crowd`] with checkpoint/resume control. Resume skips walker
+/// initialization (restored walkers carry their buffers and RNG streams)
+/// and continues from `state.step`; the shared
+/// [`DmcState::finish_generation`] tail keeps the bookkeeping bit-identical
+/// to every other DMC driver variant, so a run checkpointed under one
+/// batching mode can resume under another and still match bitwise.
+pub fn run_dmc_crowd_controlled<T: Real>(
+    crowds: &mut [Crowd<T>],
+    walkers: &mut Vec<Walker<T>>,
+    params: &DmcParams,
+    resume: Option<DmcState>,
+    control: &mut RunControl<'_>,
+) -> (DmcResult, ProfileSet) {
     assert!(!crowds.is_empty());
     let profile = Mutex::new(ProfileSet::with_groups(crowds.len()));
 
-    // Parallel walker initialization over the same contiguous chunks.
-    rayon::scope(|scope| {
-        let chunks = chunks_mut(walkers, crowds.len());
-        for (c, (crowd, chunk)) in crowds.iter_mut().zip(chunks).enumerate() {
-            let profile = &profile;
-            scope.spawn(move || {
-                qmc_instrument::enable_ftz();
-                let _span = span("init", c as u64);
-                for w in chunk.iter_mut() {
-                    crowd.slot_mut(0).init_walker(w);
-                }
-                profile.lock().merge_group(c, &drain_thread_profile());
-            });
-        }
-    });
-    let e0 = if walkers.is_empty() {
-        0.0
+    let mut state = if let Some(state) = resume {
+        state
     } else {
-        // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
-        walkers.iter().map(|w| w.e_local).sum::<f64>() / walkers.len() as f64
+        // Parallel walker initialization over the same contiguous chunks.
+        rayon::scope(|scope| {
+            let chunks = chunks_mut(walkers, crowds.len());
+            for (c, (crowd, chunk)) in crowds.iter_mut().zip(chunks).enumerate() {
+                let profile = &profile;
+                scope.spawn(move || {
+                    qmc_instrument::enable_ftz();
+                    let _span = span("init", c as u64);
+                    for w in chunk.iter_mut() {
+                        crowd.slot_mut(0).init_walker(w);
+                    }
+                    profile.lock().merge_group(c, &drain_thread_profile());
+                });
+            }
+        });
+        let e0 = if walkers.is_empty() {
+            0.0
+        } else {
+            // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
+            walkers.iter().map(|w| w.e_local).sum::<f64>() / walkers.len() as f64
+        };
+        DmcState::fresh(e0, params)
     };
-    let mut branch = BranchController::new(params.target_population, e0, params.tau, params.seed);
 
-    let mut energy = ScalarEstimator::new();
-    let mut population = Vec::with_capacity(params.steps);
-    let mut e_trial_trace = Vec::with_capacity(params.steps);
-    let (mut accepted, mut attempted) = (0usize, 0usize);
-    let mut samples = 0u64;
-
-    for step in 0..params.steps {
+    while state.step < params.steps {
+        let step = state.step;
         // Driver-level step span on its own lane, above the crowd lanes.
         let _step_span = span_lazy(crowds.len() as u64, || format!("step {step}"));
         let refresh = params.recompute_every > 0 && step % params.recompute_every == 0;
-        let (esum, wsum, acc, att) =
-            CrowdScheduler::generation(crowds, walkers, params.tau, refresh, &branch, &profile);
-        accepted += acc;
-        attempted += att;
-        let e_avg = if wsum > 0.0 { esum / wsum } else { e0 };
-        if step >= params.warmup {
-            energy.push(e_avg, wsum);
-            samples += walkers.len() as u64;
-        }
-        population.push(walkers.len());
-        branch.branch(walkers);
-        branch.update_trial_energy(e_avg, walkers.len());
-        e_trial_trace.push(branch.e_trial);
+        let (esum, wsum, acc, att) = CrowdScheduler::generation(
+            crowds,
+            walkers,
+            params.tau,
+            refresh,
+            &state.branch,
+            &profile,
+        );
+        let e_avg = state.finish_generation(walkers, params.warmup, esum, wsum, acc, att);
+        control.after_dmc_generation(&state, walkers, params, e_avg, wsum);
     }
 
     // Fold the coordinator thread's own profile (branching etc.) into the
     // aggregate only — it belongs to no crowd.
     profile.lock().merge_total(&drain_thread_profile());
 
-    (
-        DmcResult {
-            energy,
-            population,
-            acceptance: if attempted > 0 {
-                // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
-                accepted as f64 / attempted as f64
-            } else {
-                0.0
-            },
-            samples,
-            e_trial: branch.e_trial,
-            e_trial_trace,
-        },
-        profile.into_inner(),
-    )
+    (state.into_result(), profile.into_inner())
 }

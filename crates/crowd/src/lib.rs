@@ -25,6 +25,6 @@ pub mod scheduler;
 pub mod vmc;
 
 pub use crowd::Crowd;
-pub use dmc::run_dmc_crowd;
+pub use dmc::{run_dmc_crowd, run_dmc_crowd_controlled};
 pub use scheduler::CrowdScheduler;
-pub use vmc::run_vmc_crowd;
+pub use vmc::{run_vmc_crowd, run_vmc_crowd_controlled};

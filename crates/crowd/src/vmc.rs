@@ -3,7 +3,7 @@
 
 use crate::crowd::Crowd;
 use qmc_containers::Real;
-use qmc_drivers::{ScalarEstimator, VmcParams, VmcResult, Walker};
+use qmc_drivers::{RunControl, VmcParams, VmcResult, VmcState, Walker};
 
 /// Runs VMC on one crowd over a set of walkers. Walkers stream through
 /// the crowd in crowd-sized blocks; within a block every step advances
@@ -18,20 +18,37 @@ pub fn run_vmc_crowd<T: Real>(
     walkers: &mut [Walker<T>],
     params: &VmcParams,
 ) -> VmcResult {
-    qmc_instrument::enable_ftz();
-    let mut energy = ScalarEstimator::new();
-    let mut accepted = 0usize;
-    let mut attempted = 0usize;
-    let mut samples = 0u64;
+    run_vmc_crowd_controlled(crowd, walkers, params, None, &mut RunControl::none())
+}
 
-    for w in walkers.iter_mut() {
-        crowd.slot_mut(0).init_walker(w);
-    }
+/// [`run_vmc_crowd`] with checkpoint/resume control. Resume skips walker
+/// initialization and continues the outer block loop from `state.block`;
+/// because the crowd driver shares [`VmcState`] with the per-walker
+/// driver, a VMC run checkpointed under one batching mode resumes bitwise
+/// under the other.
+pub fn run_vmc_crowd_controlled<T: Real>(
+    crowd: &mut Crowd<T>,
+    walkers: &mut [Walker<T>],
+    params: &VmcParams,
+    resume: Option<VmcState>,
+    control: &mut RunControl<'_>,
+) -> VmcResult {
+    qmc_instrument::enable_ftz();
+    let mut state = if let Some(state) = resume {
+        state
+    } else {
+        for w in walkers.iter_mut() {
+            crowd.slot_mut(0).init_walker(w);
+        }
+        VmcState::fresh()
+    };
 
     let cs = crowd.size();
     let mut buffered: Vec<Vec<f64>> = vec![Vec::new(); cs];
-    for outer in 0..params.blocks {
+    while state.block < params.blocks {
+        let outer = state.block;
         let _block_span = qmc_instrument::span_lazy(0, || format!("vmc block {outer}"));
+        let samples_before = state.energy.len();
         for block in walkers.chunks_mut(cs) {
             for (s, w) in block.iter_mut().enumerate() {
                 crowd.slot_mut(s).load_walker(w);
@@ -43,10 +60,10 @@ pub fn run_vmc_crowd<T: Real>(
             for step in 0..params.steps_per_block {
                 let stats = crowd.sweep(block, params.tau);
                 for st in &stats {
-                    accepted += st.accepted;
-                    attempted += st.attempted;
+                    state.accepted += st.accepted;
+                    state.attempted += st.attempted;
                 }
-                samples += block.len() as u64;
+                state.samples += block.len() as u64;
                 if step % params.measure_every == 0 {
                     for (s, w) in block.iter_mut().enumerate() {
                         let el = crowd.slot_mut(s).measure(&mut w.rng);
@@ -62,20 +79,13 @@ pub fn run_vmc_crowd<T: Real>(
             for (s, w) in block.iter_mut().enumerate() {
                 crowd.slot_mut(s).store_walker(w);
                 for &e in &buffered[s] {
-                    energy.push(e, 1.0);
+                    state.energy.push(e, 1.0);
                 }
             }
         }
+        state.block += 1;
+        control.after_vmc_block(&state, walkers, params, samples_before);
     }
 
-    VmcResult {
-        energy,
-        acceptance: if attempted > 0 {
-            // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
-            accepted as f64 / attempted as f64
-        } else {
-            0.0
-        },
-        samples,
-    }
+    state.into_result()
 }

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 /// Branching/trial-energy controller.
+#[derive(Clone, Debug)]
 pub struct BranchController {
     /// Target population `<N_w>`.
     pub target_population: usize,
@@ -33,6 +34,34 @@ impl BranchController {
             tau,
             max_age: 10,
             rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The raw state words of the controller's private branching stream,
+    /// for bitwise checkpointing.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a controller from checkpointed state: every public field
+    /// plus the exact branching-stream state from [`Self::rng_state`], so
+    /// a restored controller draws the same uniforms an uninterrupted run
+    /// would have.
+    pub fn restore(
+        target_population: usize,
+        e_trial: f64,
+        feedback: f64,
+        tau: f64,
+        max_age: usize,
+        rng_state: [u64; 4],
+    ) -> Self {
+        Self {
+            target_population,
+            e_trial,
+            feedback,
+            tau,
+            max_age,
+            rng: StdRng::from_state(rng_state),
         }
     }
 
@@ -218,6 +247,38 @@ mod tests {
         }
         b.branch(&mut normal);
         assert!(normal.len() > 100, "at-age walkers still branch normally");
+    }
+
+    #[test]
+    fn restored_controller_continues_branching_stream_bitwise() {
+        let mut live = BranchController::new(20, -1.0, 0.01, 77);
+        let mut warm = initial_population::<f64>(&zero_positions(1), 20, 5);
+        live.branch(&mut warm); // advance the private stream
+        live.update_trial_energy(-1.2, warm.len());
+
+        let mut restored = BranchController::restore(
+            live.target_population,
+            live.e_trial,
+            live.feedback,
+            live.tau,
+            live.max_age,
+            live.rng_state(),
+        );
+        // Identical populations, identical decisions, identical streams after.
+        let mut a = initial_population::<f64>(&zero_positions(1), 15, 8);
+        let mut b = initial_population::<f64>(&zero_positions(1), 15, 8);
+        for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+            x.weight = 1.4;
+            y.weight = 1.4;
+        }
+        live.branch(&mut a);
+        restored.branch(&mut b);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(live.rng_state(), restored.rng_state());
+        assert_eq!(
+            live.weight_factor(-1.0, -1.1),
+            restored.weight_factor(-1.0, -1.1)
+        );
     }
 
     #[test]

@@ -4,9 +4,17 @@
 //! walker reweighting, birth/death branching and trial-energy feedback.
 //! [`run_dmc`] drives a single engine; the multithreaded version lives in
 //! [`crate::parallel`].
+//!
+//! All driver variants (single-engine, thread crew, lock-step crowd) share
+//! [`DmcState`]: the complete between-generation state of a run. A
+//! checkpoint is nothing but a serialized `DmcState` plus the walker
+//! population, and resuming is entering the generation loop with a
+//! restored state instead of a fresh one — the same code path either way,
+//! which is what makes restore bitwise rather than merely statistical.
 
 use crate::batching::Batching;
 use crate::branch::BranchController;
+use crate::checkpoint::RunControl;
 use crate::engine::QmcEngine;
 use crate::estimator::ScalarEstimator;
 use crate::walker::Walker;
@@ -66,48 +74,150 @@ pub struct DmcResult {
     pub e_trial_trace: Vec<f64>,
 }
 
+/// The complete between-generation state of a DMC run: everything besides
+/// the walker population itself that the next generation depends on. This
+/// is exactly what `qmc-checkpoint/1` serializes for the DMC driver.
+#[derive(Clone, Debug)]
+pub struct DmcState {
+    /// Population controller (trial energy, feedback, private RNG).
+    pub branch: BranchController,
+    /// Accumulated per-generation energy estimator.
+    pub energy: ScalarEstimator,
+    /// Population trace per generation so far.
+    pub population: Vec<usize>,
+    /// Trial-energy trace per generation so far.
+    pub e_trial_trace: Vec<f64>,
+    /// Accepted single-particle moves so far.
+    pub accepted: usize,
+    /// Attempted single-particle moves so far.
+    pub attempted: usize,
+    /// Monte Carlo samples (post-warmup) so far.
+    pub samples: u64,
+    /// Completed generations (the next generation to execute).
+    pub step: usize,
+    /// Initial energy estimate (the `wsum <= 0` fallback, fixed at init).
+    pub e0: f64,
+}
+
+impl DmcState {
+    /// Fresh state for a run starting at generation 0 with initial energy
+    /// estimate `e0` (the mean walker local energy after init).
+    pub fn fresh(e0: f64, params: &DmcParams) -> Self {
+        Self {
+            branch: BranchController::new(params.target_population, e0, params.tau, params.seed),
+            energy: ScalarEstimator::new(),
+            population: Vec::with_capacity(params.steps),
+            e_trial_trace: Vec::with_capacity(params.steps),
+            accepted: 0,
+            attempted: 0,
+            samples: 0,
+            step: 0,
+            e0,
+        }
+    }
+
+    /// Completes one generation: accumulates statistics, branches the
+    /// population and applies the trial-energy feedback. This is the
+    /// shared tail of every DMC driver variant (single-engine, parallel,
+    /// crowd) — they must stay bitwise identical, so the logic lives once.
+    /// Returns this generation's energy estimate.
+    pub fn finish_generation<T: Real>(
+        &mut self,
+        walkers: &mut Vec<Walker<T>>,
+        warmup: usize,
+        esum: f64,
+        wsum: f64,
+        acc: usize,
+        att: usize,
+    ) -> f64 {
+        self.accepted += acc;
+        self.attempted += att;
+        let e_avg = if wsum > 0.0 { esum / wsum } else { self.e0 };
+        if self.step >= warmup {
+            self.energy.push(e_avg, wsum);
+            self.samples += walkers.len() as u64;
+        }
+        self.population.push(walkers.len());
+        self.branch.branch(walkers);
+        self.branch.update_trial_energy(e_avg, walkers.len());
+        self.e_trial_trace.push(self.branch.e_trial);
+        self.step += 1;
+        e_avg
+    }
+
+    /// Final result of the run this state accumulated.
+    pub fn into_result(self) -> DmcResult {
+        DmcResult {
+            energy: self.energy,
+            population: self.population,
+            acceptance: if self.attempted > 0 {
+                // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
+                self.accepted as f64 / self.attempted as f64
+            } else {
+                0.0
+            },
+            samples: self.samples,
+            e_trial: self.branch.e_trial,
+            e_trial_trace: self.e_trial_trace,
+        }
+    }
+}
+
 /// Runs DMC on one engine. `walkers` is consumed/regenerated by branching.
 pub fn run_dmc<T: Real>(
     engine: &mut QmcEngine<T>,
     walkers: &mut Vec<Walker<T>>,
     params: &DmcParams,
 ) -> DmcResult {
+    run_dmc_controlled(engine, walkers, params, None, &mut RunControl::none())
+}
+
+/// [`run_dmc`] with checkpoint/resume control. When `resume` is `Some`,
+/// walker initialization is skipped entirely (the restored walkers carry
+/// their buffers and RNG streams) and the generation loop continues from
+/// `state.step`; the run is bitwise identical to one that never stopped.
+pub fn run_dmc_controlled<T: Real>(
+    engine: &mut QmcEngine<T>,
+    walkers: &mut Vec<Walker<T>>,
+    params: &DmcParams,
+    resume: Option<DmcState>,
+    control: &mut RunControl<'_>,
+) -> DmcResult {
     qmc_instrument::enable_ftz();
-    // Initialize any fresh walkers and the trial energy.
-    let mut e0_acc = 0.0;
-    for w in walkers.iter_mut() {
-        engine.init_walker(w);
-        e0_acc += w.e_local;
-    }
-    let e0 = if walkers.is_empty() {
-        0.0
+    let mut state = if let Some(state) = resume {
+        state
     } else {
-        // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
-        e0_acc / walkers.len() as f64
+        // Initialize fresh walkers and the trial energy.
+        let mut e0_acc = 0.0;
+        for w in walkers.iter_mut() {
+            engine.init_walker(w);
+            e0_acc += w.e_local;
+        }
+        let e0 = if walkers.is_empty() {
+            0.0
+        } else {
+            // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
+            e0_acc / walkers.len() as f64
+        };
+        DmcState::fresh(e0, params)
     };
-    let mut branch = BranchController::new(params.target_population, e0, params.tau, params.seed);
 
-    let mut energy = ScalarEstimator::new();
-    let mut population = Vec::with_capacity(params.steps);
-    let mut e_trial_trace = Vec::with_capacity(params.steps);
-    let mut accepted = 0usize;
-    let mut attempted = 0usize;
-    let mut samples = 0u64;
-
-    for step in 0..params.steps {
+    while state.step < params.steps {
+        let step = state.step;
         let mut esum = 0.0;
         let mut wsum = 0.0;
+        let (mut acc, mut att) = (0usize, 0usize);
         for w in walkers.iter_mut() {
             engine.load_walker(w);
             if params.recompute_every > 0 && step % params.recompute_every == 0 {
                 engine.refresh_from_scratch();
             }
             let stats = engine.sweep(params.tau, &mut w.rng);
-            accepted += stats.accepted;
-            attempted += stats.attempted;
+            acc += stats.accepted;
+            att += stats.attempted;
             let el = engine.measure(&mut w.rng).total();
             qmc_instrument::check_finite(qmc_instrument::CheckKind::LocalEnergy, el);
-            let factor = branch.weight_factor(w.e_local, el);
+            let factor = state.branch.weight_factor(w.e_local, el);
             w.weight *= factor;
             w.age = if stats.accepted == 0 { w.age + 1 } else { 0 };
             w.e_local = el;
@@ -115,28 +225,9 @@ pub fn run_dmc<T: Real>(
             esum += w.weight * el;
             wsum += w.weight;
         }
-        let e_avg = if wsum > 0.0 { esum / wsum } else { e0 };
-        if step >= params.warmup {
-            energy.push(e_avg, wsum);
-            samples += walkers.len() as u64;
-        }
-        population.push(walkers.len());
-        branch.branch(walkers);
-        branch.update_trial_energy(e_avg, walkers.len());
-        e_trial_trace.push(branch.e_trial);
+        let e_avg = state.finish_generation(walkers, params.warmup, esum, wsum, acc, att);
+        control.after_dmc_generation(&state, walkers, params, e_avg, wsum);
     }
 
-    DmcResult {
-        energy,
-        population,
-        acceptance: if attempted > 0 {
-            // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
-            accepted as f64 / attempted as f64
-        } else {
-            0.0
-        },
-        samples,
-        e_trial: branch.e_trial,
-        e_trial_trace,
-    }
+    state.into_result()
 }

@@ -98,6 +98,11 @@ impl ScalarEstimator {
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
+
+    /// Raw weights view (parallel to [`Self::samples`]; checkpoint codec).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,13 @@
 //! * [`ranks`] — simulated multi-rank execution with allreduce and walker
 //!   exchange, for the strong-scaling study (Fig. 1).
 //! * [`estimator`] / [`branch`] — statistics and population control.
+//! * [`serialize`] — exact-state walker wire codec (plus explicit
+//!   [`serialize::reseed_for_migration`] re-keying for rank migration).
+//! * [`checkpoint`] — the `qmc-checkpoint/1` bitwise checkpoint/restart
+//!   format and the [`checkpoint::RunControl`] hooks the driver variants
+//!   call at block/generation boundaries.
+//! * [`fingerprint`] — FNV-1a walker/population digests asserting that
+//!   restore really is bitwise.
 
 #![forbid(unsafe_code)]
 // Indexed loops over multiple parallel slices are the deliberate idiom in
@@ -21,9 +28,11 @@
 
 pub mod batching;
 pub mod branch;
+pub mod checkpoint;
 pub mod dmc;
 pub mod engine;
 pub mod estimator;
+pub mod fingerprint;
 pub mod parallel;
 pub mod ranks;
 pub mod serialize;
@@ -32,11 +41,21 @@ pub mod walker;
 
 pub use batching::Batching;
 pub use branch::BranchController;
-pub use dmc::{run_dmc, DmcParams, DmcResult};
+pub use checkpoint::{
+    read_dmc_checkpoint, read_vmc_checkpoint, write_dmc_checkpoint, write_vmc_checkpoint,
+    CheckpointError, CheckpointSpec, DriverKind, RunControl, CHECKPOINT_SCHEMA,
+};
+pub use dmc::{run_dmc, run_dmc_controlled, DmcParams, DmcResult, DmcState};
 pub use engine::{limited_drift, HamiltonianSet, QmcEngine, SweepStats};
 pub use estimator::ScalarEstimator;
-pub use parallel::{chunks_mut, parallel_generation, run_dmc_parallel, run_vmc_parallel};
+pub use fingerprint::{population_digest, walker_digest, walker_digest_full, Fnv};
+pub use parallel::{
+    chunks_mut, parallel_generation, run_dmc_parallel, run_dmc_parallel_controlled,
+    run_vmc_parallel,
+};
 pub use ranks::{run_multi_rank, MultiRankParams, MultiRankResult};
-pub use serialize::{deserialize_walker, serialize_walker};
-pub use vmc::{run_vmc, VmcParams, VmcResult};
+pub use serialize::{
+    deserialize_walker, reseed_for_migration, serialize_walker, try_deserialize_walker, WireError,
+};
+pub use vmc::{run_vmc, run_vmc_controlled, VmcParams, VmcResult, VmcState};
 pub use walker::{initial_population, Walker};

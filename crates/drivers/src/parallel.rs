@@ -15,7 +15,8 @@
 // qmclint: allow-file(precision-cast) — thread/walker bookkeeping converts counts and
 // timings to f64 for the aggregated statistics only.
 use crate::branch::BranchController;
-use crate::dmc::{DmcParams, DmcResult};
+use crate::checkpoint::RunControl;
+use crate::dmc::{DmcParams, DmcResult, DmcState};
 use crate::engine::QmcEngine;
 use crate::estimator::ScalarEstimator;
 use crate::walker::Walker;
@@ -217,78 +218,76 @@ pub fn run_dmc_parallel<T: Real>(
     walkers: &mut Vec<Walker<T>>,
     params: &DmcParams,
 ) -> (DmcResult, ProfileSet) {
+    run_dmc_parallel_controlled(engines, walkers, params, None, &mut RunControl::none())
+}
+
+/// [`run_dmc_parallel`] with checkpoint/resume control. Resume skips the
+/// parallel walker initialization entirely — the restored walkers carry
+/// their buffers and RNG streams — and continues the generation loop from
+/// `state.step`, bitwise identical to an uninterrupted run (the shared
+/// [`DmcState::finish_generation`] tail guarantees the bookkeeping matches
+/// the single-engine driver exactly).
+pub fn run_dmc_parallel_controlled<T: Real>(
+    engines: &mut [QmcEngine<T>],
+    walkers: &mut Vec<Walker<T>>,
+    params: &DmcParams,
+    resume: Option<DmcState>,
+    control: &mut RunControl<'_>,
+) -> (DmcResult, ProfileSet) {
     assert!(!engines.is_empty());
     let nthreads = engines.len();
     let profile = Mutex::new(ProfileSet::with_groups(nthreads));
 
-    // Parallel walker initialization.
-    {
-        let chunks = chunks_mut(walkers, nthreads);
-        rayon::scope(|scope| {
-            for (t, (engine, chunk)) in engines.iter_mut().zip(chunks).enumerate() {
-                let profile = &profile;
-                scope.spawn(move || {
-                    qmc_instrument::enable_ftz();
-                    let _span = span("init", t as u64);
-                    for w in chunk.iter_mut() {
-                        engine.init_walker(w);
-                    }
-                    profile.lock().merge_group(t, &drain_thread_profile());
-                });
-            }
-        });
-    }
-    let e0 = if walkers.is_empty() {
-        0.0
+    let mut state = if let Some(state) = resume {
+        state
     } else {
-        walkers.iter().map(|w| w.e_local).sum::<f64>() / walkers.len() as f64
+        // Parallel walker initialization.
+        {
+            let chunks = chunks_mut(walkers, nthreads);
+            rayon::scope(|scope| {
+                for (t, (engine, chunk)) in engines.iter_mut().zip(chunks).enumerate() {
+                    let profile = &profile;
+                    scope.spawn(move || {
+                        qmc_instrument::enable_ftz();
+                        let _span = span("init", t as u64);
+                        for w in chunk.iter_mut() {
+                            engine.init_walker(w);
+                        }
+                        profile.lock().merge_group(t, &drain_thread_profile());
+                    });
+                }
+            });
+        }
+        let e0 = if walkers.is_empty() {
+            0.0
+        } else {
+            walkers.iter().map(|w| w.e_local).sum::<f64>() / walkers.len() as f64
+        };
+        DmcState::fresh(e0, params)
     };
-    let mut branch = BranchController::new(params.target_population, e0, params.tau, params.seed);
 
-    let mut energy = ScalarEstimator::new();
-    let mut population = Vec::with_capacity(params.steps);
-    let mut e_trial_trace = Vec::with_capacity(params.steps);
-    let (mut accepted, mut attempted) = (0usize, 0usize);
-    let mut samples = 0u64;
-
-    for step in 0..params.steps {
+    while state.step < params.steps {
+        let step = state.step;
         // Driver-level step span on its own lane, above the worker lanes.
         let _step_span = span_lazy(nthreads as u64, || format!("step {step}"));
         let refresh = params.recompute_every > 0 && step % params.recompute_every == 0;
-        let (esum, wsum, acc, att) =
-            parallel_generation(engines, walkers, params.tau, refresh, &branch, &profile);
-        accepted += acc;
-        attempted += att;
-        let e_avg = if wsum > 0.0 { esum / wsum } else { e0 };
-        if step >= params.warmup {
-            energy.push(e_avg, wsum);
-            samples += walkers.len() as u64;
-        }
-        population.push(walkers.len());
-        branch.branch(walkers);
-        branch.update_trial_energy(e_avg, walkers.len());
-        e_trial_trace.push(branch.e_trial);
+        let (esum, wsum, acc, att) = parallel_generation(
+            engines,
+            walkers,
+            params.tau,
+            refresh,
+            &state.branch,
+            &profile,
+        );
+        let e_avg = state.finish_generation(walkers, params.warmup, esum, wsum, acc, att);
+        control.after_dmc_generation(&state, walkers, params, e_avg, wsum);
     }
 
     // Fold the coordinator thread's own profile (branching etc.) into the
     // aggregate only — it belongs to no worker group.
     profile.lock().merge_total(&drain_thread_profile());
 
-    (
-        DmcResult {
-            energy,
-            population,
-            acceptance: if attempted > 0 {
-                accepted as f64 / attempted as f64
-            } else {
-                0.0
-            },
-            samples,
-            e_trial: branch.e_trial,
-            e_trial_trace,
-        },
-        profile.into_inner(),
-    )
+    (state.into_result(), profile.into_inner())
 }
 
 #[cfg(test)]

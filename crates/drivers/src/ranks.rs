@@ -13,7 +13,7 @@
 // counts) are f64 by definition of the run report.
 use crate::branch::BranchController;
 use crate::engine::QmcEngine;
-use crate::serialize::{deserialize_walker, serialize_walker};
+use crate::serialize::{deserialize_walker, reseed_for_migration, serialize_walker};
 use parking_lot::Mutex;
 use qmc_containers::Real;
 use std::sync::Barrier;
@@ -175,7 +175,10 @@ where
                         let mut msgs = Vec::with_capacity(surplus);
                         let mut bytes = 0u64;
                         for mut w in walkers.drain(walkers.len() - surplus..) {
-                            let msg = serialize_walker(&mut w);
+                            // Migration policy: decorrelate the stream
+                            // before the walker leaves this rank.
+                            reseed_for_migration(&mut w);
+                            let msg = serialize_walker(&w);
                             bytes += msg.len() as u64;
                             msgs.push(msg);
                         }

@@ -2,9 +2,12 @@
 //!
 //! Used for equilibration, for validating the wavefunction machinery
 //! against analytic systems, and as the lightweight counterpart of the DMC
-//! driver in the benchmarks.
+//! driver in the benchmarks. Like DMC, the between-block state is factored
+//! into [`VmcState`] so a run can checkpoint at a block boundary and
+//! resume bitwise.
 
 use crate::batching::Batching;
+use crate::checkpoint::RunControl;
 use crate::engine::QmcEngine;
 use crate::estimator::ScalarEstimator;
 use crate::walker::Walker;
@@ -48,52 +51,98 @@ pub struct VmcResult {
     pub samples: u64,
 }
 
+/// The complete between-block state of a VMC run — what
+/// `qmc-checkpoint/1` serializes for the VMC driver (plus the walkers).
+#[derive(Clone, Debug, Default)]
+pub struct VmcState {
+    /// Accumulated local-energy samples.
+    pub energy: ScalarEstimator,
+    /// Accepted single-particle moves so far.
+    pub accepted: usize,
+    /// Attempted single-particle moves so far.
+    pub attempted: usize,
+    /// Walker-sweeps so far.
+    pub samples: u64,
+    /// Completed blocks (the next block to execute).
+    pub block: usize,
+}
+
+impl VmcState {
+    /// Fresh state for a run starting at block 0.
+    pub fn fresh() -> Self {
+        Self::default()
+    }
+
+    /// Final result of the run this state accumulated.
+    pub fn into_result(self) -> VmcResult {
+        VmcResult {
+            energy: self.energy,
+            acceptance: if self.attempted > 0 {
+                // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
+                self.accepted as f64 / self.attempted as f64
+            } else {
+                0.0
+            },
+            samples: self.samples,
+        }
+    }
+}
+
 /// Runs VMC on one engine over a set of walkers.
 pub fn run_vmc<T: Real>(
     engine: &mut QmcEngine<T>,
     walkers: &mut [Walker<T>],
     params: &VmcParams,
 ) -> VmcResult {
+    run_vmc_controlled(engine, walkers, params, None, &mut RunControl::none())
+}
+
+/// [`run_vmc`] with checkpoint/resume control. When `resume` is `Some`,
+/// walker initialization is skipped (the restored walkers carry their
+/// buffers and RNG streams) and the block loop continues from
+/// `state.block`, bitwise identical to an uninterrupted run.
+pub fn run_vmc_controlled<T: Real>(
+    engine: &mut QmcEngine<T>,
+    walkers: &mut [Walker<T>],
+    params: &VmcParams,
+    resume: Option<VmcState>,
+    control: &mut RunControl<'_>,
+) -> VmcResult {
     qmc_instrument::enable_ftz();
-    let mut energy = ScalarEstimator::new();
-    let mut accepted = 0usize;
-    let mut attempted = 0usize;
-    let mut samples = 0u64;
+    let mut state = if let Some(state) = resume {
+        state
+    } else {
+        for w in walkers.iter_mut() {
+            engine.init_walker(w);
+        }
+        VmcState::fresh()
+    };
 
-    for w in walkers.iter_mut() {
-        engine.init_walker(w);
-    }
-
-    for block in 0..params.blocks {
+    while state.block < params.blocks {
+        let block = state.block;
         let _block_span = qmc_instrument::span_lazy(0, || format!("vmc block {block}"));
+        let samples_before = state.energy.len();
         for w in walkers.iter_mut() {
             engine.load_walker(w);
             // Per-block mixed-precision hygiene: recompute from scratch.
             engine.refresh_from_scratch();
             for step in 0..params.steps_per_block {
                 let stats = engine.sweep(params.tau, &mut w.rng);
-                accepted += stats.accepted;
-                attempted += stats.attempted;
-                samples += 1;
+                state.accepted += stats.accepted;
+                state.attempted += stats.attempted;
+                state.samples += 1;
                 if step % params.measure_every == 0 {
                     let el = engine.measure(&mut w.rng);
                     w.e_local = el.total();
                     qmc_instrument::check_finite(qmc_instrument::CheckKind::LocalEnergy, w.e_local);
-                    energy.push(w.e_local, 1.0);
+                    state.energy.push(w.e_local, 1.0);
                 }
             }
             engine.store_walker(w);
         }
+        state.block += 1;
+        control.after_vmc_block(&state, walkers, params, samples_before);
     }
 
-    VmcResult {
-        energy,
-        acceptance: if attempted > 0 {
-            // qmclint: allow(precision-cast) — walker/step counts convert exactly to f64 for statistics.
-            accepted as f64 / attempted as f64
-        } else {
-            0.0
-        },
-        samples,
-    }
+    state.into_result()
 }

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 /// One Monte Carlo walker.
+#[derive(Debug)]
 pub struct Walker<T: Real> {
     /// Electron positions (storage/message precision is always `f64`).
     pub r: Vec<Pos<f64>>,

@@ -15,6 +15,9 @@
 //!   Chrome `trace_event` JSON.
 //! * [`report`] — the [`report::RunReport`] aggregate every front-end
 //!   serializes (hand-rolled JSON via [`json`]).
+//! * [`stream`] — newline-delimited streaming telemetry
+//!   (`qmc-run-report-stream/1`): per-block deltas, trace spans and
+//!   checkpoint markers appended live as a run progresses.
 
 // Indexed loops over multiple parallel slices are the deliberate idiom in
 // the SIMD kernels (mirrors the paper's C++ and keeps the auto-vectorizer's
@@ -29,6 +32,7 @@ pub mod report;
 pub mod roofline;
 pub mod sanitize;
 pub mod span;
+pub mod stream;
 pub mod timer;
 
 pub use energy::{EnergyModel, Phase, DEFAULT_DMC_WATTS, DEFAULT_INIT_WATTS};
@@ -46,6 +50,7 @@ pub use span::{
     chrome_trace_json, enable_tracing, span, span_lazy, take_trace_events, tracing_enabled, Span,
     TraceEvent,
 };
+pub use stream::{BlockEvent, StreamWriter, RUN_STREAM_SCHEMA};
 pub use timer::{
     add_flops_bytes, drain_thread_profile, time_kernel, Kernel, KernelStats, Profile, ProfileSet,
     ALL_KERNELS, NUM_KERNELS,

@@ -1,19 +1,29 @@
 //! The full miniapp (§7.1): a DMC calculation with particle-by-particle
 //! updates and non-local pseudopotentials on a benchmark workload, for any
 //! code version of the paper's ladder. Prints throughput and the hot-spot
-//! profile, or emits the structured run report / Chrome trace.
+//! profile, or emits the structured run report / Chrome trace. Long runs
+//! can checkpoint (`--checkpoint`), resume bitwise (`--resume`) and stream
+//! telemetry (`--stream`).
 //!
 //! ```text
 //! miniqmc --benchmark nio32 --size scaled --code current \
 //!         --threads 4 --walkers 16 --steps 20 --tau 0.005 \
-//!         --profile json
+//!         --checkpoint ck.qmc:5 --stream run.ndjson --profile json
 //! ```
 
 use miniqmc::Options;
-use qmc_crowd::{run_vmc_crowd, Crowd};
-use qmc_drivers::{initial_population, run_vmc, Batching, VmcParams};
-use qmc_instrument::{chrome_trace_json, enable_tracing, take_trace_events};
-use qmc_workloads::{run_dmc_benchmark, Benchmark, CodeVersion, RunConfig, Size, Workload};
+use qmc_crowd::{run_vmc_crowd_controlled, Crowd};
+use qmc_drivers::{
+    initial_population, population_digest, run_vmc_controlled, Batching, CheckpointSpec,
+    RunControl, VmcParams,
+};
+use qmc_instrument::{
+    chrome_trace_json, enable_tracing, take_trace_events, BlockEvent, StreamWriter,
+};
+use qmc_workloads::{
+    checkpoint_step, run_dmc_benchmark_controlled, BenchControl, Benchmark, CodeVersion, RunConfig,
+    Size, Workload,
+};
 
 const USAGE: &str = "miniqmc: full QMC miniapp (paper §7.1)\n\
      --benchmark graphite|be64|nio32|nio64 (default nio32)\n\
@@ -27,6 +37,14 @@ const USAGE: &str = "miniqmc: full QMC miniapp (paper §7.1)\n\
          fused multi-walker SPO kernel (Bspline-mw-vgl); trades bitwise\n\
          parity with the per-walker drive for batched throughput\n\
      --driver dmc|vmc (default dmc)\n\
+     --checkpoint PATH[:EVERY]   write a qmc-checkpoint/1 file after\n\
+         every EVERY completed generations/blocks (default 1); the file\n\
+         is replaced atomically, so a killed job keeps its last one\n\
+     --resume PATH   resume bitwise from a checkpoint (walker RNG\n\
+         streams, estimator and branching state restore exactly);\n\
+         --steps is the run's TOTAL step count, not additional steps\n\
+     --stream PATH   append qmc-run-report-stream/1 NDJSON telemetry\n\
+         (start/block/trace/checkpoint/end records) as blocks complete\n\
      --profile summary|json|trace:PATH (default summary)\n\
          summary     human-readable run report + hot-spot table\n\
          json        machine-readable RunReport JSON on stdout\n\
@@ -38,6 +56,13 @@ const USAGE: &str = "miniqmc: full QMC miniapp (paper §7.1)\n\
 fn fail_usage(msg: &str) -> ! {
     eprintln!("miniqmc: {msg}\n\n{USAGE}");
     std::process::exit(2);
+}
+
+/// Prints a runtime error (I/O, corrupt checkpoint, ...) and exits 1 —
+/// clean diagnostics, no panic backtrace.
+fn fail_run(msg: &str) -> ! {
+    eprintln!("miniqmc: {msg}");
+    std::process::exit(1);
 }
 
 fn parse_benchmark(s: &str) -> Result<Benchmark, String> {
@@ -137,6 +162,11 @@ fn main() {
     if cfg.fused_refresh && crowd == 0 {
         fail_usage("--fused-refresh requires --crowd W");
     }
+    let checkpoint = opts
+        .get_str("checkpoint")
+        .map(|s| CheckpointSpec::parse(s).unwrap_or_else(|e| fail_usage(&e)));
+    let resume = opts.get_str("resume");
+    let stream_path = opts.get_str("stream");
 
     // In JSON mode stdout carries only the report; everything human goes
     // to stderr.
@@ -175,15 +205,85 @@ fn main() {
         if json_mode {
             fail_usage("--profile json is only available for the DMC driver");
         }
-        run_vmc_mode(&workload, code, &cfg, &mode);
+        run_vmc_mode(
+            &workload,
+            code,
+            &cfg,
+            &mode,
+            checkpoint,
+            resume,
+            stream_path,
+        );
         return;
     }
 
-    if let ProfileMode::Trace(_) = mode {
+    let trace_file = matches!(mode, ProfileMode::Trace(_));
+    if trace_file {
         enable_tracing(true);
     }
-    let out = run_dmc_benchmark(&workload, code, &cfg);
+    // With a stream but no trace file, spans drain into the stream per
+    // block; a requested trace file keeps them all for itself.
+    let stream_trace = stream_path.is_some() && !trace_file;
+    if stream_trace {
+        enable_tracing(true);
+    }
+
+    let mut stream = open_stream(stream_path, resume.is_some());
+    if let Some(s) = stream.as_mut() {
+        let resumed_from = resume.map(|p| {
+            checkpoint_step(p, code.single_precision())
+                .unwrap_or_else(|e| fail_run(&format!("cannot resume from {p}: {e}")))
+        });
+        s.start(
+            "dmc",
+            workload.spec.name,
+            &code.label(),
+            qmc_kernels::Backend::current().label(),
+            cfg.threads,
+            cfg.walkers,
+            cfg.steps,
+            resumed_from,
+        )
+        .unwrap_or_else(|e| fail_run(&format!("cannot write stream: {e}")));
+    }
+
+    let spec_for_stream = checkpoint.clone();
+    let mut on_block = |ev: &BlockEvent| {
+        if let Some(s) = stream.as_mut() {
+            s.block(ev).ok();
+            if stream_trace {
+                s.trace_events(&take_trace_events()).ok();
+            }
+            if let Some(spec) = spec_for_stream.as_ref() {
+                if spec.due(ev.step as usize) {
+                    s.checkpoint(ev.step, &spec.path).ok();
+                }
+            }
+        }
+    };
+    let ctl = BenchControl {
+        resume,
+        checkpoint,
+        on_block: if stream_path.is_some() {
+            Some(&mut on_block)
+        } else {
+            None
+        },
+    };
+    let out = run_dmc_benchmark_controlled(&workload, code, &cfg, ctl)
+        .unwrap_or_else(|e| fail_run(&format!("cannot resume: {e}")));
     let report = out.report(&workload, &cfg);
+    if let Some(s) = stream.as_mut() {
+        s.end(
+            out.seconds,
+            out.samples,
+            out.energy.0,
+            out.energy.1,
+            out.acceptance,
+            out.walker_hash,
+        )
+        .ok();
+    }
 
     match mode {
         ProfileMode::Json => {
@@ -202,6 +302,7 @@ fn main() {
                 out.energy.0, out.energy.1, out.energy.2
             );
             println!("acceptance       {:>12.3}", out.acceptance);
+            println!("walker-hash      {:016x}", out.walker_hash);
             println!(
                 "DMC efficiency   {:>12.3e}  (kappa = 1/(sigma^2 tau_corr T_MC), §3)",
                 out.kappa()
@@ -230,6 +331,19 @@ fn main() {
     }
 }
 
+/// Opens the NDJSON telemetry stream: truncate for a fresh run, append
+/// when resuming (the stream continues across restarts).
+fn open_stream(path: Option<&str>, resuming: bool) -> Option<StreamWriter> {
+    path.map(|p| {
+        let s = if resuming {
+            StreamWriter::append(p)
+        } else {
+            StreamWriter::create(p)
+        };
+        s.unwrap_or_else(|e| fail_run(&format!("cannot open stream {p}: {e}")))
+    })
+}
+
 /// Drains collected spans and writes the Chrome trace file.
 fn write_trace(path: &str) {
     enable_tracing(false);
@@ -249,7 +363,17 @@ fn write_trace(path: &str) {
 
 /// VMC mode: a variational run with per-block recompute — one engine, or
 /// one lock-step crowd when `--crowd W` is given (results are identical).
-fn run_vmc_mode(workload: &Workload, code: CodeVersion, cfg: &RunConfig, mode: &ProfileMode) {
+/// Checkpoint/resume/stream work exactly as in DMC mode, against VMC
+/// checkpoints.
+fn run_vmc_mode(
+    workload: &Workload,
+    code: CodeVersion,
+    cfg: &RunConfig,
+    mode: &ProfileMode,
+    checkpoint: Option<CheckpointSpec>,
+    resume: Option<&str>,
+    stream_path: Option<&str>,
+) {
     let params = VmcParams {
         blocks: (cfg.steps / 4).max(1),
         steps_per_block: 4,
@@ -261,38 +385,105 @@ fn run_vmc_mode(workload: &Workload, code: CodeVersion, cfg: &RunConfig, mode: &
         "driver = VMC: {} blocks x {} sweeps",
         params.blocks, params.steps_per_block
     );
-    if let ProfileMode::Trace(_) = mode {
+    let trace_file = matches!(mode, ProfileMode::Trace(_));
+    if trace_file {
         enable_tracing(true);
     }
+    let stream_trace = stream_path.is_some() && !trace_file;
+    if stream_trace {
+        enable_tracing(true);
+    }
+    let mut stream = open_stream(stream_path, resume.is_some());
     macro_rules! go {
         ($build:expr) => {{
-            let mut walkers =
-                initial_population(workload.initial_positions(), cfg.walkers, cfg.seed);
+            let (mut walkers, resume_state) = match resume {
+                Some(p) => match qmc_drivers::read_vmc_checkpoint(p) {
+                    Ok((state, ws)) => (ws, Some(state)),
+                    Err(e) => fail_run(&format!("cannot resume from {p}: {e}")),
+                },
+                None => (
+                    initial_population(workload.initial_positions(), cfg.walkers, cfg.seed),
+                    None,
+                ),
+            };
+            if let Some(s) = stream.as_mut() {
+                s.start(
+                    "vmc",
+                    workload.spec.name,
+                    &code.label(),
+                    qmc_kernels::Backend::current().label(),
+                    1,
+                    cfg.walkers,
+                    params.blocks,
+                    resume_state.as_ref().map(|st| st.block as u64),
+                )
+                .unwrap_or_else(|e| fail_run(&format!("cannot write stream: {e}")));
+            }
+            let spec_for_stream = checkpoint.clone();
+            let stream_checkpoint = checkpoint;
+            let mut on_block = |ev: &BlockEvent| {
+                if let Some(s) = stream.as_mut() {
+                    s.block(ev).ok();
+                    if stream_trace {
+                        s.trace_events(&take_trace_events()).ok();
+                    }
+                    if let Some(spec) = spec_for_stream.as_ref() {
+                        if spec.due(ev.step as usize) {
+                            s.checkpoint(ev.step, &spec.path).ok();
+                        }
+                    }
+                }
+            };
+            let mut control = RunControl {
+                checkpoint: stream_checkpoint,
+                on_block: if stream_path.is_some() {
+                    Some(&mut on_block)
+                } else {
+                    None
+                },
+            };
             let t0 = std::time::Instant::now();
             let res = match cfg.batching {
                 Batching::PerWalker => {
                     let mut engine = $build;
-                    run_vmc(&mut engine, &mut walkers, &params)
+                    run_vmc_controlled(
+                        &mut engine,
+                        &mut walkers,
+                        &params,
+                        resume_state,
+                        &mut control,
+                    )
                 }
                 Batching::Crowd(_) => {
                     let slots = (0..cfg.batching.crowd_size()).map(|_| $build).collect();
                     let mut crowd = Crowd::new(slots);
                     crowd.set_fused_refresh(cfg.fused_refresh);
-                    run_vmc_crowd(&mut crowd, &mut walkers, &params)
+                    run_vmc_crowd_controlled(
+                        &mut crowd,
+                        &mut walkers,
+                        &params,
+                        resume_state,
+                        &mut control,
+                    )
                 }
             };
             let secs = t0.elapsed().as_secs_f64();
+            let hash = population_digest(&walkers);
             let (e, err, tau_corr) = res.energy.blocking();
             println!(
                 "VMC energy {:.4} +- {:.4} (tau_corr {:.1}), acceptance {:.3}",
                 e, err, tau_corr, res.acceptance
             );
+            println!("walker-hash      {:016x}", hash);
             println!(
                 "throughput {:.2} sweeps/s ({} sweeps in {:.3} s)",
                 res.samples as f64 / secs,
                 res.samples,
                 secs
             );
+            if let Some(s) = stream.as_mut() {
+                s.end(secs, res.samples, e, err, res.acceptance, hash).ok();
+            }
         }};
     }
     if code.single_precision() {

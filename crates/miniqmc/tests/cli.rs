@@ -231,6 +231,178 @@ fn trace_mode_writes_chrome_trace_with_spans() {
     assert!(tids.len() >= 2, "expected multiple lanes, got {tids:?}");
 }
 
+fn walker_hash_line(stdout: &[u8]) -> String {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .find(|l| l.starts_with("walker-hash"))
+        .expect("walker-hash line in summary")
+        .to_string()
+}
+
+/// The PR's headline property, end to end through the binary: a job
+/// checkpointed at an interior generation and restarted from the file
+/// finishes with the same per-walker FNV-1a population hash as the job
+/// that was never killed.
+#[test]
+fn checkpoint_then_resume_matches_straight_run_hash() {
+    let dir = std::env::temp_dir();
+    let ck = dir.join(format!("miniqmc_ck_{}.qmc", std::process::id()));
+    let ck_arg = format!("{}:3", ck.display());
+    let common = [
+        "--benchmark",
+        "graphite",
+        "--threads",
+        "2",
+        "--walkers",
+        "4",
+        "--warmup",
+        "1",
+        "--seed",
+        "11",
+    ];
+
+    let straight = miniqmc()
+        .args(common)
+        .args(["--steps", "6"])
+        .output()
+        .expect("spawn miniqmc");
+    assert!(straight.status.success());
+
+    // "Killed" job: runs only to step 3, leaving its checkpoint behind.
+    let killed = miniqmc()
+        .args(common)
+        .args(["--steps", "3", "--checkpoint", &ck_arg])
+        .output()
+        .expect("spawn miniqmc");
+    assert!(killed.status.success());
+
+    // Restart from the file and run to the same total step count.
+    let resumed = miniqmc()
+        .args(common)
+        .args(["--steps", "6", "--resume", &ck.display().to_string()])
+        .output()
+        .expect("spawn miniqmc");
+    let _ = std::fs::remove_file(&ck);
+    assert!(
+        resumed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+
+    let h_straight = walker_hash_line(&straight.stdout);
+    let h_killed = walker_hash_line(&killed.stdout);
+    let h_resumed = walker_hash_line(&resumed.stdout);
+    assert_eq!(
+        h_straight, h_resumed,
+        "resumed run diverged from the straight run"
+    );
+    assert_ne!(
+        h_straight, h_killed,
+        "interior checkpoint must not equal the finished population (no-op trap)"
+    );
+}
+
+/// `--stream` appends one NDJSON record per event: a start record with
+/// the schema tag, one block record per generation (monotone steps), a
+/// checkpoint record when the cadence fires, and an end record whose
+/// walker_hash matches the summary line.
+#[test]
+fn stream_is_valid_ndjson_with_per_block_records() {
+    let dir = std::env::temp_dir();
+    let ck = dir.join(format!("miniqmc_stream_ck_{}.qmc", std::process::id()));
+    let nd = dir.join(format!("miniqmc_stream_{}.ndjson", std::process::id()));
+    let out = miniqmc()
+        .args([
+            "--benchmark",
+            "graphite",
+            "--threads",
+            "2",
+            "--walkers",
+            "4",
+            "--steps",
+            "4",
+            "--warmup",
+            "1",
+            "--seed",
+            "11",
+            "--checkpoint",
+            &format!("{}:2", ck.display()),
+            "--stream",
+            &nd.display().to_string(),
+        ])
+        .output()
+        .expect("spawn miniqmc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&nd).expect("stream written");
+    let _ = std::fs::remove_file(&nd);
+    let _ = std::fs::remove_file(&ck);
+
+    let records: Vec<_> = text
+        .lines()
+        .map(|l| json::parse(l).unwrap_or_else(|e| panic!("bad NDJSON line: {e}: {l}")))
+        .collect();
+    let kind = |r: &json::JsonValue| r.get("event").unwrap().as_str().unwrap().to_string();
+
+    assert_eq!(kind(&records[0]), "start");
+    assert_eq!(
+        records[0].get("schema").and_then(|s| s.as_str()),
+        Some("qmc-run-report-stream/1")
+    );
+    assert_eq!(kind(records.last().unwrap()), "end");
+
+    let steps: Vec<u64> = records
+        .iter()
+        .filter(|r| kind(r) == "block")
+        .map(|r| r.get("step").unwrap().as_f64().unwrap() as u64)
+        .collect();
+    assert_eq!(steps, vec![1, 2, 3, 4], "one block record per generation");
+
+    let checkpoints: Vec<u64> = records
+        .iter()
+        .filter(|r| kind(r) == "checkpoint")
+        .map(|r| r.get("step").unwrap().as_f64().unwrap() as u64)
+        .collect();
+    assert_eq!(checkpoints, vec![2, 4], "cadence :2 fires at steps 2 and 4");
+
+    // End-record hash agrees with the summary line.
+    let end_hash = records
+        .last()
+        .unwrap()
+        .get("walker_hash")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_string();
+    assert!(
+        walker_hash_line(&out.stdout).contains(&end_hash),
+        "stream end hash {end_hash} not in summary"
+    );
+}
+
+/// A corrupt (or plain-text) file handed to `--resume` must produce a
+/// one-line diagnostic and exit code 1 — never a panic backtrace.
+#[test]
+fn corrupt_resume_file_fails_cleanly() {
+    let dir = std::env::temp_dir();
+    let bad = dir.join(format!("miniqmc_bad_ck_{}.qmc", std::process::id()));
+    std::fs::write(&bad, b"this is not a checkpoint at all").expect("write corrupt file");
+    let out = miniqmc()
+        .args(["--benchmark", "graphite", "--walkers", "2", "--steps", "2"])
+        .args(["--resume", &bad.display().to_string()])
+        .output()
+        .expect("spawn miniqmc");
+    let _ = std::fs::remove_file(&bad);
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot resume"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
 #[test]
 fn profiling_modes_do_not_change_results() {
     // Determinism guard: the same seeded run must produce bitwise

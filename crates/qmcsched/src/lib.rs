@@ -49,65 +49,13 @@ pub fn schedules() -> Vec<Schedule> {
     ]
 }
 
-/// FNV-1a 64-bit, folding in raw little-endian bytes: the digest is a pure
-/// function of the bit patterns, so equal digests mean bitwise-equal state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Fnv(u64);
-
-impl Fnv {
-    /// Fresh digest at the FNV offset basis.
-    pub fn new() -> Self {
-        Self(0xcbf2_9ce4_8422_2325)
-    }
-
-    /// Folds raw bytes into the digest.
-    pub fn bytes(&mut self, b: &[u8]) {
-        for &x in b {
-            self.0 ^= u64::from(x);
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    /// Folds an `f64` by bit pattern (NaN-safe, sign-preserving).
-    pub fn f64(&mut self, x: f64) {
-        self.bytes(&x.to_bits().to_le_bytes());
-    }
-
-    /// Folds a `u64`.
-    pub fn u64(&mut self, x: u64) {
-        self.bytes(&x.to_le_bytes());
-    }
-
-    /// The digest value.
-    pub fn value(self) -> u64 {
-        self.0
-    }
-}
-
-impl Default for Fnv {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Bitwise digest of one walker: positions, statistical weights, age and
-/// the cached per-walker scalars. The RNG stream is deliberately left out
-/// (its state advances identically, but digesting it would require the
-/// serializer, which re-keys the stream).
-pub fn walker_digest<T: Real>(w: &Walker<T>) -> u64 {
-    let mut h = Fnv::new();
-    for p in &w.r {
-        for d in 0..3 {
-            h.f64(p[d]);
-        }
-    }
-    h.f64(w.weight);
-    h.f64(w.multiplicity);
-    h.u64(w.age as u64);
-    h.f64(w.e_local);
-    h.f64(w.log_psi);
-    h.value()
-}
+// The FNV-1a digest machinery started here and moved into
+// `qmc_drivers::fingerprint` when checkpoint/restart needed it too; the
+// schedule harness keeps its public names via re-export. The full-state
+// variants (`walker_digest_full`, `population_digest`) additionally fold
+// the raw RNG state words — serialization no longer perturbs the walker,
+// so digesting the stream is free.
+pub use qmc_drivers::fingerprint::{population_digest, walker_digest, walker_digest_full, Fnv};
 
 /// Outcome of one driver run under one schedule: per-walker digests plus
 /// the driver's scalar outputs (all compared bitwise).

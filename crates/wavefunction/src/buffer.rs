@@ -92,6 +92,38 @@ impl<T: Real> WalkerBuffer<T> {
         x
     }
 
+    /// The full working-precision stream, cursor-independent. Serializers
+    /// use this instead of draining through the cursor API, so taking a
+    /// snapshot of a walker (e.g. a mid-block checkpoint) cannot disturb a
+    /// partially consumed buffer.
+    pub fn reals(&self) -> &[T] {
+        &self.reals
+    }
+
+    /// The full double-precision stream, cursor-independent.
+    pub fn doubles(&self) -> &[f64] {
+        &self.doubles
+    }
+
+    /// Current `(reals, doubles)` read-cursor positions.
+    pub fn cursors(&self) -> (usize, usize) {
+        (self.r_cursor, self.d_cursor)
+    }
+
+    /// Restores read-cursor positions captured by [`Self::cursors`]
+    /// (checkpoint restore of a mid-consumption buffer). Panics if either
+    /// cursor lies beyond its stream.
+    pub fn set_cursors(&mut self, r_cursor: usize, d_cursor: usize) {
+        assert!(
+            r_cursor <= self.reals.len() && d_cursor <= self.doubles.len(),
+            "cursor past end of buffer: ({r_cursor}, {d_cursor}) vs ({}, {})",
+            self.reals.len(),
+            self.doubles.len()
+        );
+        self.r_cursor = r_cursor;
+        self.d_cursor = d_cursor;
+    }
+
     /// Total storage footprint in bytes (walker message size).
     pub fn bytes(&self) -> usize {
         self.reals.len() * std::mem::size_of::<T>() + self.doubles.len() * 8
@@ -147,6 +179,51 @@ mod tests {
         b32.put_slice(&[0.0; 100]);
         b64.put_slice(&[0.0; 100]);
         assert_eq!(b32.bytes() * 2, b64.bytes());
+    }
+
+    #[test]
+    fn snapshot_accessors_do_not_touch_cursors() {
+        let mut b = WalkerBuffer::<f32>::new();
+        b.put_slice(&[1.0, 2.0, 3.0]);
+        b.put_f64(-7.25);
+        b.put_f64(8.5);
+        b.rewind();
+        let mut one = [0.0f32; 1];
+        b.get_slice(&mut one);
+        assert_eq!(b.get_f64(), -7.25);
+        let before = b.cursors();
+        assert_eq!(b.reals(), &[1.0, 2.0, 3.0]);
+        assert_eq!(b.doubles(), &[-7.25, 8.5]);
+        assert_eq!(b.cursors(), before, "snapshot moved a cursor");
+        // Reads continue exactly where they left off.
+        b.get_slice(&mut one);
+        assert_eq!(one[0], 2.0);
+        assert_eq!(b.get_f64(), 8.5);
+    }
+
+    #[test]
+    fn cursor_restore_roundtrip() {
+        let mut b = WalkerBuffer::<f64>::new();
+        b.put_slice(&[1.0, 2.0]);
+        b.put_f64(3.0);
+        b.rewind();
+        let mut one = [0.0f64; 1];
+        b.get_slice(&mut one);
+        let (rc, dc) = b.cursors();
+        let mut restored = b.clone();
+        restored.rewind();
+        restored.set_cursors(rc, dc);
+        assert_eq!(restored.cursors(), (rc, dc));
+        restored.get_slice(&mut one);
+        assert_eq!(one[0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cursor past end")]
+    fn cursor_restore_rejects_out_of_range() {
+        let mut b = WalkerBuffer::<f64>::new();
+        b.put_f64(1.0);
+        b.set_cursors(0, 2);
     }
 
     #[test]

@@ -16,5 +16,8 @@ pub mod spec;
 
 pub use build::{CodeVersion, Workload};
 pub use qmc_drivers::Batching;
-pub use run::{run_dmc_benchmark, RunConfig, RunOutcome};
+pub use run::{
+    checkpoint_step, run_dmc_benchmark, run_dmc_benchmark_controlled, BenchControl, RunConfig,
+    RunOutcome,
+};
 pub use spec::{Benchmark, IonSpec, Size, WorkloadSpec};

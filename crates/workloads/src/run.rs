@@ -5,10 +5,14 @@
 
 use crate::build::{CodeVersion, Workload};
 use qmc_containers::Real;
-use qmc_crowd::{run_dmc_crowd, CrowdScheduler};
-use qmc_drivers::{initial_population, run_dmc_parallel, Batching, DmcParams, QmcEngine, Walker};
+use qmc_crowd::{run_dmc_crowd_controlled, CrowdScheduler};
+use qmc_drivers::{
+    initial_population, population_digest, read_dmc_checkpoint, run_dmc_parallel_controlled,
+    Batching, CheckpointError, CheckpointSpec, DmcParams, DmcState, QmcEngine, RunControl, Walker,
+};
 use qmc_instrument::{
-    take_drift_stats, take_sanitizer_stats, DriftStats, Profile, RunReport, SanitizerStats,
+    take_drift_stats, take_sanitizer_stats, BlockEvent, DriftStats, Profile, RunReport,
+    SanitizerStats,
 };
 
 /// Execution configuration for one benchmark run.
@@ -87,6 +91,10 @@ pub struct RunOutcome {
     pub table_bytes: usize,
     /// Final walker population.
     pub final_population: usize,
+    /// FNV-1a digest of the final walker population (full per-walker
+    /// state, RNG streams included) — what the checkpoint-resume parity
+    /// gates compare.
+    pub walker_hash: u64,
 }
 
 impl RunOutcome {
@@ -154,14 +162,61 @@ impl RunOutcome {
     }
 }
 
+/// Checkpoint/resume/telemetry control for a benchmark run.
+/// [`BenchControl::default`] is a plain uncontrolled run.
+#[derive(Default)]
+pub struct BenchControl<'a> {
+    /// Resume from this `qmc-checkpoint/1` file instead of initializing
+    /// fresh walkers.
+    pub resume: Option<&'a str>,
+    /// Periodic checkpointing during the run.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Per-generation observer (the streaming-telemetry sink).
+    pub on_block: Option<&'a mut dyn FnMut(&BlockEvent)>,
+}
+
+/// Reads just the completed-step counter of a DMC checkpoint (for the
+/// stream `start` record of a resumed run, before the run itself opens
+/// the file).
+pub fn checkpoint_step(path: &str, single_precision: bool) -> Result<u64, CheckpointError> {
+    if single_precision {
+        read_dmc_checkpoint::<f32>(path).map(|(s, _)| s.step as u64)
+    } else {
+        read_dmc_checkpoint::<f64>(path).map(|(s, _)| s.step as u64)
+    }
+}
+
 fn run_generic<T: Real>(
-    mut build_engine: impl FnMut() -> QmcEngine<T>,
+    build_engine: impl FnMut() -> QmcEngine<T>,
     workload: &Workload,
     code: CodeVersion,
     cfg: &RunConfig,
 ) -> RunOutcome {
-    let mut walkers: Vec<Walker<T>> =
-        initial_population(workload.initial_positions(), cfg.walkers, cfg.seed);
+    run_generic_controlled(build_engine, workload, code, cfg, BenchControl::default())
+        .expect("uncontrolled run reads no checkpoint and cannot fail")
+}
+
+fn run_generic_controlled<T: Real>(
+    mut build_engine: impl FnMut() -> QmcEngine<T>,
+    workload: &Workload,
+    code: CodeVersion,
+    cfg: &RunConfig,
+    ctl: BenchControl<'_>,
+) -> Result<RunOutcome, CheckpointError> {
+    let (mut walkers, resume_state): (Vec<Walker<T>>, Option<DmcState>) = match ctl.resume {
+        Some(path) => {
+            let (state, walkers) = read_dmc_checkpoint::<T>(path)?;
+            (walkers, Some(state))
+        }
+        None => (
+            initial_population(workload.initial_positions(), cfg.walkers, cfg.seed),
+            None,
+        ),
+    };
+    let mut control = RunControl {
+        checkpoint: ctl.checkpoint,
+        on_block: ctl.on_block,
+    };
     let params = DmcParams {
         steps: cfg.steps,
         warmup: cfg.warmup,
@@ -181,7 +236,13 @@ fn run_generic<T: Real>(
         Batching::PerWalker => {
             let mut engines: Vec<QmcEngine<T>> = (0..threads).map(|_| build_engine()).collect();
             let t0 = std::time::Instant::now();
-            let (r, p) = run_dmc_parallel(&mut engines, &mut walkers, &params);
+            let (r, p) = run_dmc_parallel_controlled(
+                &mut engines,
+                &mut walkers,
+                &params,
+                resume_state,
+                &mut control,
+            );
             seconds = t0.elapsed().as_secs_f64();
             engine_bytes = engines.first().map_or(0, qmc_drivers::QmcEngine::bytes);
             res = r;
@@ -192,7 +253,13 @@ fn run_generic<T: Real>(
                 .with_fused_refresh(cfg.fused_refresh);
             let mut crowds = sched.build_crowds(build_engine);
             let t0 = std::time::Instant::now();
-            let (r, p) = run_dmc_crowd(&mut crowds, &mut walkers, &params);
+            let (r, p) = run_dmc_crowd_controlled(
+                &mut crowds,
+                &mut walkers,
+                &params,
+                resume_state,
+                &mut control,
+            );
             seconds = t0.elapsed().as_secs_f64();
             engine_bytes = crowds.first().map_or(0, qmc_crowd::Crowd::engine_bytes);
             res = r;
@@ -200,7 +267,7 @@ fn run_generic<T: Real>(
         }
     }
 
-    RunOutcome {
+    Ok(RunOutcome {
         label: code.label(),
         seconds,
         samples: res.samples,
@@ -217,7 +284,8 @@ fn run_generic<T: Real>(
         engine_bytes,
         table_bytes: workload.table_bytes(code.single_precision()),
         final_population: walkers.len(),
-    }
+        walker_hash: population_digest(&walkers),
+    })
 }
 
 /// Runs a DMC benchmark for any code version, dispatching on precision
@@ -227,6 +295,23 @@ pub fn run_dmc_benchmark(workload: &Workload, code: CodeVersion, cfg: &RunConfig
         run_generic(|| workload.build_engine_f32(code), workload, code, cfg)
     } else {
         run_generic(|| workload.build_engine_f64(code), workload, code, cfg)
+    }
+}
+
+/// [`run_dmc_benchmark`] with checkpoint/resume/telemetry control. The
+/// only fallible path is reading the resume checkpoint (wrong precision
+/// for the code version, corruption, truncation — all clean
+/// [`CheckpointError`]s).
+pub fn run_dmc_benchmark_controlled(
+    workload: &Workload,
+    code: CodeVersion,
+    cfg: &RunConfig,
+    ctl: BenchControl<'_>,
+) -> Result<RunOutcome, CheckpointError> {
+    if code.single_precision() {
+        run_generic_controlled(|| workload.build_engine_f32(code), workload, code, cfg, ctl)
+    } else {
+        run_generic_controlled(|| workload.build_engine_f64(code), workload, code, cfg, ctl)
     }
 }
 
