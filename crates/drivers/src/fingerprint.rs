@@ -62,15 +62,32 @@ pub fn walker_digest<T: Real>(w: &Walker<T>) -> u64 {
     h.value()
 }
 
-/// Bitwise digest of one walker *including* its raw RNG state words — the
-/// strongest per-walker equality: two walkers with equal full digests will
-/// produce bitwise-identical trajectories forever after.
+/// Bitwise digest of one walker *including* its raw RNG state words and
+/// its scratch-buffer payload and cursors — the strongest per-walker
+/// equality: two walkers with equal full digests will produce
+/// bitwise-identical trajectories forever after. Folding the buffer is
+/// what closes the state-coverage gap qmclint v3 gates: a stale cached
+/// value or a dirty read cursor breaks restart parity even when the
+/// positions and scalars agree.
 pub fn walker_digest_full<T: Real>(w: &Walker<T>) -> u64 {
     let mut h = Fnv::new();
     fold_walker(&mut h, w);
     for s in w.rng.state() {
         h.u64(s);
     }
+    let (r_cursor, d_cursor) = w.buffer.cursors();
+    let reals = w.buffer.reals();
+    h.u64(reals.len() as u64);
+    for x in reals {
+        h.f64(x.to_f64());
+    }
+    h.u64(r_cursor as u64);
+    let doubles = w.buffer.doubles();
+    h.u64(doubles.len() as u64);
+    for &x in doubles {
+        h.f64(x);
+    }
+    h.u64(d_cursor as u64);
     h.value()
 }
 
@@ -150,6 +167,28 @@ mod tests {
         for s in StdRng::seed_from_u64(3).state() {
             h.u64(s);
         }
+        // Buffer section: empty payloads and zero cursors for a fresh
+        // walker — real-slab length, real cursor, double-slab length,
+        // double cursor.
+        for _ in 0..4 {
+            h.u64(0);
+        }
         assert_eq!(walker_digest_full(&w), h.value());
+    }
+
+    #[test]
+    fn full_digest_separates_buffer_cursors() {
+        let a = Walker::<f64>::new(zero_positions(1), 5);
+        let mut b = Walker::<f64>::new(zero_positions(1), 5);
+        b.buffer.put_f64(2.5);
+        assert_eq!(walker_digest(&a), walker_digest(&b));
+        assert_ne!(walker_digest_full(&a), walker_digest_full(&b));
+        // A read path that leaves the cursor dirty is also visible.
+        let mut c = Walker::<f64>::new(zero_positions(1), 5);
+        c.buffer.put_f64(2.5);
+        c.buffer.rewind();
+        let before = walker_digest_full(&c);
+        let _ = c.buffer.get_f64();
+        assert_ne!(walker_digest_full(&c), before);
     }
 }

@@ -1,12 +1,48 @@
 //! CI helper: reads JSON from stdin, validates it with the in-tree
 //! parser, and exits nonzero (with a message) when it is empty or
-//! malformed. Used by `ci.sh` to smoke-test `miniqmc --profile json`.
+//! malformed. Used by `ci.sh` to smoke-test `miniqmc --profile json`
+//! and the qmclint report.
 //!
 //! ```text
 //! miniqmc --benchmark graphite --profile json | json_check
+//! json_check < QMCLINT.json
 //! ```
 
 use std::io::Read;
+
+/// Schema-specific checks for qmclint reports. `qmclint/1` (lexical +
+/// graph rules only) and `qmclint/2` (adds the `effects` block) are both
+/// accepted; any other version is a hard error so a silent format bump
+/// cannot sail through CI.
+fn check_qmclint(schema: &str, v: &qmc_instrument::json::JsonValue) {
+    if schema != "qmclint/1" && schema != "qmclint/2" {
+        eprintln!("json_check: unknown qmclint schema `{schema}`");
+        std::process::exit(1);
+    }
+    for key in ["files_scanned", "diagnostics_total", "by_rule"] {
+        if v.get(key).is_none() {
+            eprintln!("json_check: {schema} report missing `{key}`");
+            std::process::exit(1);
+        }
+    }
+    if schema == "qmclint/2" {
+        let Some(effects) = v.get("effects") else {
+            eprintln!("json_check: qmclint/2 report missing `effects` block");
+            std::process::exit(1);
+        };
+        for key in [
+            "pure_roots",
+            "rng_draw_sites",
+            "checkpointed_structs",
+            "rules",
+        ] {
+            if effects.get(key).is_none() {
+                eprintln!("json_check: qmclint/2 `effects` block missing `{key}`");
+                std::process::exit(1);
+            }
+        }
+    }
+}
 
 fn main() {
     let mut input = String::new();
@@ -23,6 +59,9 @@ fn main() {
             // A run report must at least carry its schema tag; plain JSON
             // from other producers (e.g. Chrome traces) just passes.
             if let Some(schema) = v.get("schema").and_then(|s| s.as_str()) {
+                if schema.starts_with("qmclint/") {
+                    check_qmclint(schema, &v);
+                }
                 // Gate on the runtime sanitizer: a `checked` build that
                 // observed non-finite accumulator values or out-of-bound
                 // drift must fail CI, not just note it in the report.

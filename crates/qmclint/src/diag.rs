@@ -29,6 +29,20 @@ pub enum Rule {
     /// Inconsistent lock-acquisition order among functions reachable from
     /// the crowd scheduler (potential deadlock).
     LockOrder,
+    /// Walker/RNG/buffer state mutated on a path reachable from a
+    /// designated pure root (serializers, digests, estimator readers,
+    /// `Clone` impls) — the PR-7 bug class, caught before it breaks
+    /// bitwise restart parity. The diagnostic carries the call chain from
+    /// the pure root to the mutation site.
+    SerializationPurity,
+    /// An RNG draw site outside the sanctioned driver/branch/move modules,
+    /// or a stream re-key outside the explicit migration marker functions.
+    RngDiscipline,
+    /// A field of a registered checkpointed struct that does not appear in
+    /// its serialize/deserialize/digest/clone carriers — adding a field
+    /// without extending the `qmc-checkpoint/1` codec fails here instead
+    /// of silently breaking restart parity.
+    StateCoverage,
     /// Malformed `qmclint:` marker (unknown rule, missing justification).
     BadMarker,
 }
@@ -47,6 +61,15 @@ pub const ALL_RULES: [Rule; 5] = [
 /// Exercised by the multi-file fixtures under `tests/fixtures/graph/`.
 pub const GRAPH_RULES: [Rule; 3] = [Rule::HotPathCall, Rule::PrecisionFlow, Rule::LockOrder];
 
+/// The mutation-effect rules layered on the call graph (qmclint v3). Like
+/// the graph rules they are exercised by multi-file fixtures under
+/// `tests/fixtures/graph/`.
+pub const EFFECT_RULES: [Rule; 3] = [
+    Rule::SerializationPurity,
+    Rule::RngDiscipline,
+    Rule::StateCoverage,
+];
+
 impl Rule {
     /// Stable rule id used in diagnostics and allow markers.
     pub fn id(self) -> &'static str {
@@ -59,6 +82,9 @@ impl Rule {
             Rule::HotPathCall => "hot-path-call",
             Rule::PrecisionFlow => "precision-flow",
             Rule::LockOrder => "lock-order",
+            Rule::SerializationPurity => "serialization-purity",
+            Rule::RngDiscipline => "rng-discipline",
+            Rule::StateCoverage => "state-coverage",
             Rule::BadMarker => "bad-marker",
         }
     }
@@ -74,6 +100,10 @@ impl Rule {
             "hot-path-call" => Some(Rule::HotPathCall),
             "precision-flow" => Some(Rule::PrecisionFlow),
             "lock-order" => Some(Rule::LockOrder),
+            "serialization-purity" => Some(Rule::SerializationPurity),
+            "rng-discipline" => Some(Rule::RngDiscipline),
+            "state-coverage" => Some(Rule::StateCoverage),
+            "bad-marker" => Some(Rule::BadMarker),
             _ => None,
         }
     }
@@ -139,20 +169,40 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders a full report (`qmclint/1` schema) as machine-readable JSON.
+/// Workspace-wide effect-inference inventory reported alongside the
+/// diagnostics in the `qmclint/2` `effects` block. All counts are over the
+/// analyzed model (test-masked items excluded), so CI can watch the
+/// analysis surface itself — a pure-root inventory dropping to zero means
+/// the serialization-purity rule silently stopped seeing its roots.
+#[derive(Clone, Debug, Default)]
+pub struct EffectsSummary {
+    /// Functions matched by the pure-root predicate (serializers, digests,
+    /// estimator readers, `Clone` impls).
+    pub pure_roots: usize,
+    /// RNG draw sites observed in the model (sanctioned or not).
+    pub rng_draw_sites: usize,
+    /// `(struct name, named field count)` for every registered
+    /// checkpointed struct found in the workspace, sorted by name.
+    pub checkpointed_structs: Vec<(String, usize)>,
+}
+
+/// Renders a full report (`qmclint/2` schema) as machine-readable JSON.
 ///
-/// v2 additions are purely additive: a `by_rule` count object (every rule
-/// id, including the graph rules, at its count — the CI gate greps this to
+/// Each schema bump has been purely additive. v2 added the `by_rule`
+/// count object (every rule id at its count — the CI gate greps this to
 /// fail on any diagnostic class going nonzero) and a per-diagnostic
-/// `chain` array when a graph rule carries a call chain.
-pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
-    let mut out = String::from("{\"schema\":\"qmclint/1\",");
+/// `chain` array. v3 bumps the schema tag to `qmclint/2` and adds the
+/// `effects` block: per-effect-rule counts, the pure-root inventory and
+/// per-checkpointed-struct field tallies from [`EffectsSummary`].
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize, effects: &EffectsSummary) -> String {
+    let mut out = String::from("{\"schema\":\"qmclint/2\",");
     let _ = write!(out, "\"files_scanned\":{files_scanned},");
     let _ = write!(out, "\"diagnostics_total\":{},", diags.len());
     out.push_str("\"by_rule\":{");
     let all: Vec<Rule> = ALL_RULES
         .iter()
         .chain(GRAPH_RULES.iter())
+        .chain(EFFECT_RULES.iter())
         .copied()
         .chain([Rule::BadMarker])
         .collect();
@@ -163,7 +213,25 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
         let count = diags.iter().filter(|d| d.rule == *rule).count();
         let _ = write!(out, "\"{rule}\":{count}");
     }
-    out.push_str("},\"diagnostics\":[");
+    out.push_str("},\"effects\":{");
+    let _ = write!(out, "\"pure_roots\":{},", effects.pure_roots);
+    let _ = write!(out, "\"rng_draw_sites\":{},", effects.rng_draw_sites);
+    out.push_str("\"checkpointed_structs\":{");
+    for (i, (name, fields)) in effects.checkpointed_structs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), fields);
+    }
+    out.push_str("},\"rules\":{");
+    for (i, rule) in EFFECT_RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let count = diags.iter().filter(|d| d.rule == *rule).count();
+        let _ = write!(out, "\"{rule}\":{count}");
+    }
+    out.push_str("}},\"diagnostics\":[");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -199,8 +267,8 @@ mod tests {
 
     #[test]
     fn rule_ids_roundtrip() {
-        for r in ALL_RULES {
-            assert_eq!(Rule::from_id(r.id()), Some(r));
+        for r in ALL_RULES.iter().chain(&GRAPH_RULES).chain(&EFFECT_RULES) {
+            assert_eq!(Rule::from_id(r.id()), Some(*r));
         }
         assert_eq!(Rule::from_id("nope"), None);
     }
@@ -215,13 +283,40 @@ mod tests {
             suggestion: "don't".into(),
             chain: Vec::new(),
         };
-        let j = render_json(&[d], 1);
+        let j = render_json(&[d], 1, &EffectsSummary::default());
         assert!(j.contains("\\`unwrap()\\`") || j.contains("`unwrap()`"));
         assert!(j.contains("\"files_scanned\":1"));
         assert!(j.contains("\"rule\":\"hot-path\""));
         assert!(j.contains("\"by_rule\":{"));
         assert!(j.contains("\"hot-path\":1"));
         assert!(j.contains("\"lock-order\":0"));
+        assert!(j.contains("\"serialization-purity\":0"));
+    }
+
+    #[test]
+    fn effects_block_renders_inventory_and_rule_counts() {
+        let d = Diagnostic {
+            file: "crates/drivers/src/serialize.rs".into(),
+            line: 181,
+            rule: Rule::SerializationPurity,
+            message: "rng re-key on a pure path".into(),
+            suggestion: "move it".into(),
+            chain: vec!["serialize_walker (crates/drivers/src/serialize.rs:40)".into()],
+        };
+        let effects = EffectsSummary {
+            pure_roots: 7,
+            rng_draw_sites: 5,
+            checkpointed_structs: vec![("DmcState".into(), 9), ("Walker".into(), 8)],
+        };
+        let j = render_json(&[d], 3, &effects);
+        assert!(j.starts_with("{\"schema\":\"qmclint/2\","));
+        assert!(j.contains(
+            "\"effects\":{\"pure_roots\":7,\"rng_draw_sites\":5,\
+             \"checkpointed_structs\":{\"DmcState\":9,\"Walker\":8},\
+             \"rules\":{\"serialization-purity\":1,\"rng-discipline\":0,\"state-coverage\":0}}"
+        ));
+        // The top-level by_rule object carries the effect rules too.
+        assert!(j.contains("\"serialization-purity\":1"));
     }
 
     #[test]
@@ -237,7 +332,7 @@ mod tests {
         assert!(d
             .render_human()
             .contains("via: evaluate (a.rs:3) -> helper (b.rs:9)"));
-        let j = render_json(&[d], 2);
+        let j = render_json(&[d], 2, &EffectsSummary::default());
         assert!(j.contains("\"chain\":[\"evaluate (a.rs:3)\",\"helper (b.rs:9)\"]"));
         assert!(j.contains("\"hot-path-call\":1"));
     }

@@ -1,0 +1,582 @@
+//! The qmclint v3 effect rules, run over the per-function mutation-effect
+//! sets inferred by [`crate::model`]:
+//!
+//! 1. **serialization-purity** — no function reachable from a designated
+//!    pure root (checkpoint serializers, fingerprint digests, estimator
+//!    readers, `Clone` impls — see [`crate::config::is_pure_root`]) may
+//!    carry a mutation effect on walker/RNG/buffer state. This is the
+//!    PR-7 bug class: `serialize_walker` silently re-keying the RNG, a
+//!    digest helper leaving the buffer cursor dirty. The diagnostic is
+//!    anchored at the mutation site and carries the call chain from the
+//!    pure root.
+//! 2. **rng-discipline** — every RNG draw site must live in (or be
+//!    reachable from) the sanctioned driver/branch/move territory in
+//!    [`crate::config::SANCTIONED_RNG_PATHS`], and a stream re-key
+//!    (`.rng = ...`) is legal only inside the explicit marker functions
+//!    in [`crate::config::SANCTIONED_REKEY_FNS`]. This is the invariant
+//!    that keeps walker migration deterministic when population sharding
+//!    lands (ROADMAP item 2).
+//! 3. **state-coverage** — every named field of each struct registered in
+//!    [`crate::config::CHECKPOINTED_STRUCTS`] must be mentioned by its
+//!    serialize, deserialize, digest and clone carriers, so adding a
+//!    field without extending the `qmc-checkpoint/1` codec fails CI
+//!    instead of silently breaking restart parity.
+//!
+//! All three honour `// qmclint: allow(<rule>) — <why>` markers at the
+//! anchor site, like every other rule.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::{
+    is_pure_root, CHECKPOINTED_STRUCTS, SANCTIONED_REKEY_FNS, SANCTIONED_RNG_PATHS,
+};
+use crate::diag::{Diagnostic, EffectsSummary, Rule};
+use crate::model::{Effect, EffectKind, WorkspaceModel};
+
+/// Depth cap shared with the graph rules: deep enough for any real chain,
+/// finite under lexically-misresolved recursion.
+const MAX_DEPTH: usize = 8;
+
+/// Runs all three effect rules and returns the inventory for the
+/// `qmclint/2` `effects` block.
+pub fn check_effects(model: &WorkspaceModel, diags: &mut Vec<Diagnostic>) -> EffectsSummary {
+    let pure_roots = check_serialization_purity(model, diags);
+    let rng_draw_sites = check_rng_discipline(model, diags);
+    let checkpointed_structs = check_state_coverage(model, diags);
+    EffectsSummary {
+        pure_roots,
+        rng_draw_sites,
+        checkpointed_structs,
+    }
+}
+
+fn hop(model: &WorkspaceModel, id: (usize, usize), line: u32) -> String {
+    format!(
+        "{} ({}:{line})",
+        model.func(id).name,
+        model.files[id.0].path
+    )
+}
+
+/// Human description of a mutation effect for diagnostics.
+fn describe(e: &Effect) -> String {
+    match e.kind {
+        EffectKind::RngDraw => format!("RNG draw `.{}(..)` advances the stream", e.what),
+        EffectKind::RngRekey => "`.rng = ..` re-keys the RNG stream".to_string(),
+        EffectKind::BufferMut => format!("`buffer.{}(..)` mutates buffer contents/cursors", e.what),
+        EffectKind::FieldWrite => format!("assignment to walker field `{}`", e.what),
+    }
+}
+
+/// Rule: serialization-purity. DFS from every pure root; any mutation
+/// effect encountered (in the root itself or any resolved transitive
+/// callee) is reported at the effect's exact file:line with the chain
+/// from the root. Returns the pure-root count for the inventory.
+fn check_serialization_purity(model: &WorkspaceModel, diags: &mut Vec<Diagnostic>) -> usize {
+    let mut roots = 0usize;
+    for (fi, file) in model.files.iter().enumerate() {
+        for (fni, f) in file.fns.iter().enumerate() {
+            if f.in_test || !is_pure_root(&file.path, &f.name) {
+                continue;
+            }
+            roots += 1;
+            let mut visited: BTreeSet<(usize, usize)> = BTreeSet::new();
+            let mut reported: BTreeSet<(usize, u32)> = BTreeSet::new();
+            let chain = vec![hop(model, (fi, fni), f.line)];
+            walk_pure(
+                model,
+                (fi, fni),
+                &f.name.clone(),
+                &chain,
+                0,
+                &mut visited,
+                &mut reported,
+                diags,
+            );
+        }
+    }
+    roots
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_pure(
+    model: &WorkspaceModel,
+    id: (usize, usize),
+    root: &str,
+    chain: &[String],
+    depth: usize,
+    visited: &mut BTreeSet<(usize, usize)>,
+    reported: &mut BTreeSet<(usize, u32)>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if depth > MAX_DEPTH || !visited.insert(id) {
+        return;
+    }
+    let f = model.func(id);
+    if f.in_test {
+        return;
+    }
+    let file = &model.files[id.0];
+    for e in &f.effects {
+        if file.allows.allowed(Rule::SerializationPurity, e.line)
+            || !reported.insert((id.0, e.line))
+        {
+            continue;
+        }
+        let mut full = chain.to_vec();
+        full.push(format!("{} ({}:{})", f.name, file.path, e.line));
+        diags.push(Diagnostic {
+            file: file.path.clone(),
+            line: e.line,
+            rule: Rule::SerializationPurity,
+            message: format!(
+                "{} on a path reachable from pure root `{root}` — serialization, digests \
+                 and clones must be observationally pure",
+                describe(e)
+            ),
+            suggestion: "make the path read-only (move the mutation to the driver or an \
+                         explicit migration marker), or justify with \
+                         `// qmclint: allow(serialization-purity) — <why>` at the mutation site"
+                .into(),
+            chain: full,
+        });
+    }
+    for call in &f.calls {
+        let Some(next) = model.resolve(id.0, &call.callee, call.method) else {
+            continue;
+        };
+        let mut next_chain = chain.to_vec();
+        next_chain.push(hop(model, next, call.line));
+        walk_pure(
+            model,
+            next,
+            root,
+            &next_chain,
+            depth + 1,
+            visited,
+            reported,
+            diags,
+        );
+    }
+}
+
+/// Rule: rng-discipline. A draw site is compliant when its function lives
+/// in sanctioned RNG territory or is reachable from it through the call
+/// graph; a re-key is compliant only inside a sanctioned marker function.
+/// Returns the total draw-site count for the inventory.
+fn check_rng_discipline(model: &WorkspaceModel, diags: &mut Vec<Diagnostic>) -> usize {
+    // Closure of the sanctioned territory: every non-test fn defined in a
+    // sanctioned file, plus everything those reach.
+    let mut queue: Vec<(usize, usize)> = Vec::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        if SANCTIONED_RNG_PATHS
+            .iter()
+            .any(|p| file.path.starts_with(p))
+        {
+            for (fni, f) in file.fns.iter().enumerate() {
+                if !f.in_test {
+                    queue.push((fi, fni));
+                }
+            }
+        }
+    }
+    let mut sanctioned: BTreeSet<(usize, usize)> = queue.iter().copied().collect();
+    while let Some(id) = queue.pop() {
+        for call in &model.func(id).calls {
+            if let Some(next) = model.resolve(id.0, &call.callee, call.method) {
+                if sanctioned.insert(next) {
+                    queue.push(next);
+                }
+            }
+        }
+    }
+
+    let mut draw_sites = 0usize;
+    for (fi, file) in model.files.iter().enumerate() {
+        for (fni, f) in file.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            for e in &f.effects {
+                match e.kind {
+                    EffectKind::RngDraw => {
+                        draw_sites += 1;
+                        if sanctioned.contains(&(fi, fni))
+                            || file.allows.allowed(Rule::RngDiscipline, e.line)
+                        {
+                            continue;
+                        }
+                        diags.push(Diagnostic {
+                            file: file.path.clone(),
+                            line: e.line,
+                            rule: Rule::RngDiscipline,
+                            message: format!(
+                                "RNG draw `.{}(..)` in fn `{}` outside the sanctioned \
+                                 driver/branch/move territory — a stray draw desynchronizes \
+                                 walker streams across restarts and migration",
+                                e.what, f.name
+                            ),
+                            suggestion: "route randomness through the drivers (pass the \
+                                         walker's `StdRng` down from a sanctioned root in \
+                                         `config.rs::SANCTIONED_RNG_PATHS`), or justify with \
+                                         `// qmclint: allow(rng-discipline) — <why>`"
+                                .into(),
+                            chain: vec![hop(model, (fi, fni), e.line)],
+                        });
+                    }
+                    EffectKind::RngRekey => {
+                        if SANCTIONED_REKEY_FNS.contains(&f.name.as_str())
+                            || file.allows.allowed(Rule::RngDiscipline, e.line)
+                        {
+                            continue;
+                        }
+                        diags.push(Diagnostic {
+                            file: file.path.clone(),
+                            line: e.line,
+                            rule: Rule::RngDiscipline,
+                            message: format!(
+                                "RNG stream re-keyed in fn `{}` — only the explicit markers \
+                                 ({}) may replace a walker's stream",
+                                f.name,
+                                SANCTIONED_REKEY_FNS.join(", ")
+                            ),
+                            suggestion: "restore streams via `StdRng::from_state` in the \
+                                         checkpoint decoder, re-key only inside \
+                                         `reseed_for_migration`, or justify with \
+                                         `// qmclint: allow(rng-discipline) — <why>`"
+                                .into(),
+                            chain: vec![hop(model, (fi, fni), e.line)],
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    draw_sites
+}
+
+/// Rule: state-coverage. Field-set diffing for every registered
+/// checkpointed struct: each named field must be mentioned (exactly, or
+/// as a `field_*`/`*_field` composite) by the serialize, deserialize,
+/// digest and clone carriers. Returns `(struct, field count)` tallies
+/// for the inventory.
+fn check_state_coverage(
+    model: &WorkspaceModel,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<(String, usize)> {
+    let mut tallies: Vec<(String, usize)> = Vec::new();
+    let mut memo: BTreeMap<(usize, usize), BTreeSet<String>> = BTreeMap::new();
+    for spec in &CHECKPOINTED_STRUCTS {
+        for file in &model.files {
+            for s in &file.structs {
+                if s.in_test || s.name != spec.name {
+                    continue;
+                }
+                tallies.push((s.name.clone(), s.fields.len()));
+                if file.allows.allowed(Rule::StateCoverage, s.line) {
+                    continue;
+                }
+                // The clone carrier: either a named function or a
+                // required `#[derive(Clone)]` on the definition itself.
+                if spec.clone.is_none() && !s.derives_clone {
+                    diags.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: s.line,
+                        rule: Rule::StateCoverage,
+                        message: format!(
+                            "checkpointed struct `{}` does not `#[derive(Clone)]` — restart \
+                             and parity paths clone driver state wholesale",
+                            s.name
+                        ),
+                        suggestion: "add `Clone` to the derive list, or register a hand-written \
+                                     clone carrier in `config.rs::CHECKPOINTED_STRUCTS`"
+                            .into(),
+                        chain: Vec::new(),
+                    });
+                }
+                let carriers = [
+                    ("serialize", Some(spec.serialize)),
+                    ("deserialize", Some(spec.deserialize)),
+                    ("digest", spec.digest),
+                    ("clone", spec.clone),
+                ];
+                for (role, carrier) in carriers {
+                    let Some(carrier) = carrier else { continue };
+                    let defs: Vec<(usize, usize)> = model
+                        .by_name
+                        .get(carrier)
+                        .map(|v| {
+                            v.iter()
+                                .copied()
+                                .filter(|&id| !model.func(id).in_test)
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    if defs.is_empty() {
+                        diags.push(Diagnostic {
+                            file: file.path.clone(),
+                            line: s.line,
+                            rule: Rule::StateCoverage,
+                            message: format!(
+                                "checkpointed struct `{}` has no {role} carrier: fn \
+                                 `{carrier}` is not defined in the analyzed workspace",
+                                s.name
+                            ),
+                            suggestion: "define the carrier or fix its name in \
+                                         `config.rs::CHECKPOINTED_STRUCTS`"
+                                .into(),
+                            chain: Vec::new(),
+                        });
+                        continue;
+                    }
+                    let mut mentions: BTreeSet<String> = BTreeSet::new();
+                    for id in &defs {
+                        let mut seen = BTreeSet::new();
+                        mentions.extend(transitive_idents(model, *id, 0, &mut seen, &mut memo));
+                    }
+                    for field in &s.fields {
+                        if field_covered(&mentions, field) {
+                            continue;
+                        }
+                        let carrier_at = hop(model, defs[0], model.func(defs[0]).line);
+                        diags.push(Diagnostic {
+                            file: file.path.clone(),
+                            line: s.line,
+                            rule: Rule::StateCoverage,
+                            message: format!(
+                                "field `{field}` of checkpointed struct `{}` is not covered \
+                                 by its {role} carrier `{carrier}` — the `qmc-checkpoint/1` \
+                                 codec would drop it and restart parity would break",
+                                s.name
+                            ),
+                            suggestion: "carry the field through serialize, deserialize, \
+                                         digest and clone alike, or justify with \
+                                         `// qmclint: allow(state-coverage) — <why>` at the \
+                                         struct definition"
+                                .into(),
+                            chain: vec![carrier_at],
+                        });
+                    }
+                }
+            }
+        }
+    }
+    tallies.sort();
+    tallies
+}
+
+/// True when `field` is mentioned in the carrier's identifier surface,
+/// exactly or as a composite (`rng` is covered by `rng_state`,
+/// `samples` by `e_samples`).
+fn field_covered(mentions: &BTreeSet<String>, field: &str) -> bool {
+    if mentions.contains(field) {
+        return true;
+    }
+    let prefix = format!("{field}_");
+    let suffix = format!("_{field}");
+    mentions
+        .iter()
+        .any(|m| m.starts_with(&prefix) || m.ends_with(&suffix))
+}
+
+/// Identifiers mentioned by `id` or any resolved transitive callee,
+/// depth-capped and memoized — the mention surface a carrier offers.
+fn transitive_idents(
+    model: &WorkspaceModel,
+    id: (usize, usize),
+    depth: usize,
+    seen: &mut BTreeSet<(usize, usize)>,
+    memo: &mut BTreeMap<(usize, usize), BTreeSet<String>>,
+) -> BTreeSet<String> {
+    if let Some(cached) = memo.get(&id) {
+        return cached.clone();
+    }
+    if depth > MAX_DEPTH || !seen.insert(id) {
+        return BTreeSet::new();
+    }
+    let f = model.func(id);
+    let mut out = f.idents.clone();
+    for call in &f.calls {
+        if let Some(next) = model.resolve(id.0, &call.callee, call.method) {
+            out.extend(transitive_idents(model, next, depth + 1, seen, memo));
+        }
+    }
+    memo.insert(id, out.clone());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FileClass;
+
+    const PHYS: FileClass = FileClass {
+        exempt: false,
+        mixed_precision: false,
+        kernel: false,
+        physics: true,
+    };
+
+    fn run(files: &[(&str, &str, FileClass)]) -> (Vec<Diagnostic>, EffectsSummary) {
+        let owned: Vec<(String, String, FileClass)> = files
+            .iter()
+            .map(|(p, s, c)| ((*p).to_string(), (*s).to_string(), *c))
+            .collect();
+        let model = WorkspaceModel::build(&owned);
+        let mut diags = Vec::new();
+        let effects = check_effects(&model, &mut diags);
+        (diags, effects)
+    }
+
+    #[test]
+    fn serializer_rekeying_rng_is_flagged_with_chain() {
+        let (d, fx) = run(&[(
+            "crates/drivers/src/serialize.rs",
+            "pub fn serialize_walker(w: &mut Walker) -> Vec<u8> {\n\
+                 refresh_stream(w);\n\
+                 Vec::new()\n\
+             }\n\
+             fn refresh_stream(w: &mut Walker) {\n\
+                 let seed: u64 = w.rng.random();\n\
+                 w.rng = StdRng::seed_from_u64(seed);\n\
+             }\n",
+            PHYS,
+        )]);
+        assert_eq!(fx.pure_roots, 1);
+        let purity: Vec<&Diagnostic> = d
+            .iter()
+            .filter(|d| d.rule == Rule::SerializationPurity)
+            .collect();
+        assert_eq!(purity.len(), 2, "{d:#?}"); // the draw AND the re-key
+        assert_eq!(purity[0].line, 6);
+        assert_eq!(purity[1].line, 7);
+        assert!(purity[0].chain[0].contains("serialize_walker"));
+        assert!(purity[0].chain.last().unwrap().contains("refresh_stream"));
+        // The re-key is *also* an rng-discipline violation (draws are
+        // fine here: the file is sanctioned territory).
+        assert!(d
+            .iter()
+            .any(|d| d.rule == Rule::RngDiscipline && d.line == 7));
+    }
+
+    #[test]
+    fn pure_serializer_and_sanctioned_rekey_are_silent() {
+        let (d, fx) = run(&[(
+            "crates/drivers/src/serialize.rs",
+            "pub fn serialize_walker(w: &Walker) -> Vec<u8> {\n\
+                 let s = w.rng.state();\n\
+                 let c = w.buffer.cursors();\n\
+                 Vec::new()\n\
+             }\n\
+             pub fn reseed_for_migration(w: &mut Walker) {\n\
+                 let seed: u64 = w.rng.random();\n\
+                 w.rng = StdRng::seed_from_u64(seed);\n\
+             }\n",
+            PHYS,
+        )]);
+        assert!(d.is_empty(), "{d:#?}");
+        assert_eq!(fx.rng_draw_sites, 1);
+    }
+
+    #[test]
+    fn digest_with_dirty_buffer_cursor_is_flagged() {
+        let (d, _) = run(&[(
+            "crates/drivers/src/fingerprint.rs",
+            "pub fn walker_digest_full(w: &mut Walker) -> u64 {\n\
+                 let x = w.buffer.get_f64();\n\
+                 w.buffer.rewind();\n\
+                 0\n\
+             }\n",
+            PHYS,
+        )]);
+        let purity: Vec<&Diagnostic> = d
+            .iter()
+            .filter(|d| d.rule == Rule::SerializationPurity)
+            .collect();
+        assert_eq!(purity.len(), 2, "{d:#?}");
+        assert!(purity[0].message.contains("get_f64"));
+    }
+
+    #[test]
+    fn unsanctioned_draw_fires_and_reachable_draw_does_not() {
+        // A draw in kernel territory, not reachable from any driver: fires.
+        let (d, _) = run(&[(
+            "crates/wavefunction/src/spo.rs",
+            "pub fn jitter(rng: &mut StdRng) -> f64 { rng.random() }\n",
+            PHYS,
+        )]);
+        assert_eq!(d.len(), 1, "{d:#?}");
+        assert_eq!(d[0].rule, Rule::RngDiscipline);
+        // Same helper, but reached from sanctioned driver territory.
+        let (d, _) = run(&[
+            (
+                "crates/wavefunction/src/spo.rs",
+                "pub fn jitter(rng: &mut StdRng) -> f64 { rng.random() }\n",
+                PHYS,
+            ),
+            (
+                "crates/drivers/src/dmc.rs",
+                "pub fn sweep(rng: &mut StdRng) -> f64 { jitter(rng) }\n",
+                PHYS,
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+
+    #[test]
+    fn state_coverage_flags_missing_field_in_every_carrier() {
+        let (d, fx) = run(&[(
+            "crates/drivers/src/walker.rs",
+            "#[derive(Debug)]\n\
+             pub struct Walker {\n    pub weight: f64,\n    pub age: u32,\n}\n\
+             pub fn serialize_walker(w: &Walker) { let _ = w.weight; }\n\
+             pub fn decode_walker(weight: f64, age: u32) {}\n\
+             pub fn walker_digest_full(w: &Walker) -> u64 { let _ = (w.weight, w.age); 0 }\n\
+             pub fn branch_copy(w: &Walker) { let _ = (w.weight, w.age); }\n",
+            PHYS,
+        )]);
+        let cov: Vec<&Diagnostic> = d.iter().filter(|d| d.rule == Rule::StateCoverage).collect();
+        // `age` missing from serialize only.
+        assert_eq!(cov.len(), 1, "{d:#?}");
+        assert!(cov[0].message.contains("`age`"));
+        assert!(cov[0].message.contains("serialize"));
+        assert_eq!(cov[0].line, 2);
+        assert_eq!(fx.checkpointed_structs, vec![("Walker".to_string(), 2)]);
+    }
+
+    #[test]
+    fn state_coverage_requires_clone_derive_and_composite_names_count() {
+        // BranchController: rng covered via `rng_state`, Clone derived.
+        let src = "#[derive(Clone, Debug)]\n\
+                   pub struct BranchController {\n    pub e_trial: f64,\n    rng: StdRng,\n}\n\
+                   pub fn write_dmc_checkpoint(b: &BranchController) {\n\
+                       let _ = (b.e_trial, b.rng_state());\n\
+                   }\n\
+                   pub fn read_dmc_checkpoint(e_trial: f64, rng_state: [u64; 4]) {}\n";
+        let (d, _) = run(&[("crates/drivers/src/branch.rs", src, PHYS)]);
+        assert!(d.iter().all(|d| d.rule != Rule::StateCoverage), "{d:#?}");
+        // Dropping the derive is a diagnostic.
+        let undived = src.replace("#[derive(Clone, Debug)]", "#[derive(Debug)]");
+        let (d, _) = run(&[("crates/drivers/src/branch.rs", &undived, PHYS)]);
+        assert!(
+            d.iter()
+                .any(|d| d.rule == Rule::StateCoverage && d.message.contains("derive")),
+            "{d:#?}"
+        );
+    }
+
+    #[test]
+    fn allow_markers_silence_effect_rules_at_the_anchor() {
+        let (d, _) = run(&[(
+            "crates/drivers/src/fingerprint.rs",
+            "pub fn walker_digest_full(w: &mut Walker) -> u64 {\n\
+                 // qmclint: allow(serialization-purity) — scratch rewind is restored below\n\
+                 w.buffer.rewind();\n\
+                 0\n\
+             }\n",
+            PHYS,
+        )]);
+        assert!(d.is_empty(), "{d:#?}");
+    }
+}

@@ -29,6 +29,24 @@
 //! 8. **lock-order** — inconsistent lock-acquisition order among the
 //!    functions reachable from the crowd scheduler.
 //!
+//! v3 grows the model into an effect system: every function gets a
+//! mutation-effect set over walker/RNG/buffer state (draw sites, stream
+//! re-keys, buffer-cursor mutations, tracked-field writes), closed
+//! transitively over the call graph, plus struct models with named
+//! fields. Three rules ride on it ([`effect_rules`]):
+//!
+//! 9. **serialization-purity** — paths reachable from pure roots
+//!    (serializers, digests, estimator readers, `Clone` impls) must have
+//!    an empty mutation-effect set; the PR-7 checkpoint bugs are the
+//!    archetypes and live on as fixtures.
+//! 10. **rng-discipline** — draw sites confined to sanctioned
+//!     driver/branch/move territory; re-keys confined to explicit
+//!     migration markers.
+//! 11. **state-coverage** — every field of a registered checkpointed
+//!     struct must be carried by serialize, deserialize, digest and
+//!     clone, so the `qmc-checkpoint/1` codec can never silently drop
+//!     state.
+//!
 //! Dependency-free by necessity (the registry is unreachable): the lexer
 //! is hand-rolled, and the configuration lives in [`config`] rather than a
 //! toml file. Exceptions are justified in-source via
@@ -39,6 +57,7 @@
 
 pub mod config;
 pub mod diag;
+pub mod effect_rules;
 pub mod graph_rules;
 pub mod lexer;
 pub mod model;
@@ -48,7 +67,9 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 pub use config::{classify, FileClass};
-pub use diag::{render_json, Diagnostic, Rule, ALL_RULES, GRAPH_RULES};
+pub use diag::{
+    render_json, Diagnostic, EffectsSummary, Rule, ALL_RULES, EFFECT_RULES, GRAPH_RULES,
+};
 pub use model::WorkspaceModel;
 pub use rules::{check_kernel_coverage, lint_source, KernelUsage};
 
@@ -59,6 +80,8 @@ pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files actually scanned (exempt files excluded).
     pub files_scanned: usize,
+    /// Effect-inference inventory for the `qmclint/2` `effects` block.
+    pub effects: EffectsSummary,
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>, visited: &mut BTreeSet<PathBuf>) {
@@ -139,6 +162,7 @@ pub fn lint_files(files: &[(String, String)]) -> LintReport {
 
     let model = WorkspaceModel::build(&model_input);
     graph_rules::check_graph(&model, &mut report.diagnostics);
+    report.effects = effect_rules::check_effects(&model, &mut report.diagnostics);
 
     report
         .diagnostics

@@ -1,4 +1,5 @@
 // fixture-class: kernel,physics
+// fixture-silences: bad-marker, determinism
 // Every deviation below carries a justified marker, so the file lints
 // clean: line allows, a multi-line continuation allow, a whole-file allow,
 // and a cold fn marker.

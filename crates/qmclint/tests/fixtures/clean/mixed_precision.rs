@@ -1,4 +1,5 @@
 // fixture-class: physics,mixed
+// fixture-silences: precision-cast
 // A designated mixed-precision module: raw casts and suffixed literals are
 // the whole point here (the paper's f64-accumulate / f32-evaluate split),
 // so the precision rule stays silent.

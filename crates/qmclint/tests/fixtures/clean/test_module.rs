@@ -1,4 +1,5 @@
 // fixture-class: kernel,physics
+// fixture-silences: hot-path
 // Everything inside a `#[cfg(test)]` item is masked: tests may allocate,
 // unwrap, and cast freely without tripping any rule.
 

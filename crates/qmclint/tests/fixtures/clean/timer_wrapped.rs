@@ -1,4 +1,5 @@
 // fixture-class: kernel,physics
+// fixture-silences: timer-coverage
 // The three ways an `mw_*` entry point satisfies timer coverage: wrapping
 // its body in a `Kernel::*` timer, visibly delegating to another `mw_*`
 // kernel, or carrying a justified allow marker.

@@ -1,4 +1,5 @@
 // fixture-class: plain
+// fixture-silences: unsafe-comment
 // Both accepted placements of the safety comment: directly above the
 // unsafe keyword, and as the first line inside the block.
 

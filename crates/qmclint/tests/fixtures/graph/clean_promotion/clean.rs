@@ -1,4 +1,5 @@
 // fixture-path: crates/drivers/src/clean_fixture.rs
+// fixture-silences: precision-flow, lock-order
 //! Clean case: the same shapes as the violation fixtures, made legal the
 //! intended ways — explicit promotion, a cold callee, a justified allow
 //! marker, and one consistent lock order.

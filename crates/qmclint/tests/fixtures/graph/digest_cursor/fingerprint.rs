@@ -1,0 +1,24 @@
+// fixture-path: crates/drivers/src/fingerprint.rs
+//! Seeded bug (PR 7, bug b): the full-state digest reads the walker
+//! buffer through its consuming cursor API and leaves the cursor dirty —
+//! the digest "succeeds" but the next engine load resumes mid-buffer.
+//! `buffer_contents` is the mutation carrier; the diagnostic must land on
+//! the consuming read, chained from the `walker_digest_full` pure root.
+
+/// Pure root by name: `*digest*` under `crates/drivers/`.
+pub fn walker_digest_full(w: &mut Walker) -> u64 {
+    let mut h = seed_hash();
+    h ^= buffer_contents(w);
+    h
+}
+
+/// FNV offset basis, fixed.
+fn seed_hash() -> u64 {
+    14_695_981_039_346_656_037
+}
+
+/// The dirty read: `get_f64` advances the buffer cursor.
+fn buffer_contents(w: &mut Walker) -> u64 {
+    let first = w.buffer.get_f64(); //~ serialization-purity
+    first.to_bits()
+}

@@ -1,0 +1,27 @@
+// fixture-path: crates/kernels/src/dispatch_silent.rs
+// fixture-silences: hot-path-call
+//! Silence witness for the transitive hot-path rule: a kernel entry
+//! whose callee set is an in-file clean helper plus a cold builder
+//! (`build_` prefix), which the walk does not traverse.
+
+/// Hot kernel entry: clean body, clean reachable set.
+pub fn apply_scale(x: &mut [f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in x.iter_mut() {
+        *v *= 0.5;
+        acc += *v;
+    }
+    tail_sum(acc)
+}
+
+/// In-file helper on the hot path: arithmetic only.
+fn tail_sum(acc: f64) -> f64 {
+    acc + 1.0
+}
+
+/// Cold by naming convention: setup code may allocate freely.
+pub fn build_scratch(n: usize) -> Vec<f64> {
+    let mut scratch = Vec::with_capacity(n);
+    scratch.resize(n, 0.0);
+    scratch
+}

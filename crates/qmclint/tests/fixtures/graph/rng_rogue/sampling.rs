@@ -1,0 +1,10 @@
+// fixture-path: crates/hamiltonian/src/sampling.rs
+//! Seeded bug: a Hamiltonian helper owning its own randomness. The draw
+//! site is outside the sanctioned driver/branch/move territory and
+//! nothing sanctioned reaches it, so walker streams sampled through it
+//! would desynchronize across restarts and migration.
+
+/// Rogue draw: physics code must receive randomness from the drivers.
+pub fn thermal_noise(rng: &mut StdRng) -> f64 {
+    rng.random() //~ rng-discipline
+}

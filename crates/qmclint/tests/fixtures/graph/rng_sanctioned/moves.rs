@@ -1,0 +1,10 @@
+// fixture-path: crates/particles/src/moves.rs
+//! Reachable helper: this file is not in the sanctioned path list, but
+//! the sanctioned DMC driver calls `drift_kick`, so its draw inherits
+//! the sanction through the call graph.
+
+/// Uniform kick drawn from the walker's own stream.
+pub fn drift_kick(w: &mut Walker) -> f64 {
+    let u: f64 = w.rng.random();
+    u - 0.5
+}

@@ -1,0 +1,27 @@
+// fixture-path: crates/drivers/src/checkpoint.rs
+// fixture-silences: serialization-purity
+//! Silence witness: a checkpoint path that only reads walker state. The
+//! serializer, its encoding helper, and the digest all traverse tracked
+//! fields read-only, so the interprocedural purity walk stays quiet.
+
+/// Pure root: serializer delegating to read-only helpers.
+pub fn serialize_walker(w: &Walker) -> Vec<u8> {
+    let mut out = encode_weight(w);
+    out.push(tag_byte());
+    out
+}
+
+/// Reads `weight` without writing anything.
+fn encode_weight(w: &Walker) -> Vec<u8> {
+    w.weight.to_le_bytes().to_vec()
+}
+
+/// Wire-format tag, no state touched at all.
+fn tag_byte() -> u8 {
+    7
+}
+
+/// Pure root by name: reads the RNG words without drawing.
+pub fn walker_digest_full(w: &Walker) -> u64 {
+    w.weight.to_bits() ^ w.rng.state()[0]
+}

@@ -1,0 +1,14 @@
+// fixture-path: crates/drivers/src/migrate.rs
+//! The hidden mutation: a "stream refresh" helper that draws from the
+//! walker's RNG and then re-keys it wholesale. Reachable from
+//! `serialize_walker`, so both effects break serialization purity; the
+//! re-key additionally violates RNG discipline because `refresh_stream`
+//! is not one of the sanctioned re-key markers (the draw alone is fine
+//! here — `crates/drivers/src/` is sanctioned territory).
+
+/// NOT `reseed_for_migration`: re-keying here is the bug.
+pub fn refresh_stream(w: &mut Walker) {
+    let reseed: u64 = w.rng.random(); //~ serialization-purity
+    //~v serialization-purity
+    w.rng = StdRng::seed_from_u64(reseed); //~ rng-discipline
+}

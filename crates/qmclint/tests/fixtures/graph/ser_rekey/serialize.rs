@@ -1,0 +1,18 @@
+// fixture-path: crates/drivers/src/serialize.rs
+//! Seeded bug (PR 7, bug a): the checkpoint serializer takes `&mut` and
+//! quietly refreshes the walker's RNG stream two hops down. The body of
+//! `serialize_walker` looks innocent — only the interprocedural effect
+//! walk can see the draw and the re-key in `migrate.rs`, and it must
+//! report both at their exact lines with the chain from the pure root.
+
+/// Pure root: checkpointing must be observationally pure.
+pub fn serialize_walker(w: &mut Walker) -> Vec<u8> {
+    let bytes = encode_scalars(w);
+    refresh_stream(w);
+    bytes
+}
+
+/// Reads only: weight bits into the wire buffer.
+fn encode_scalars(w: &Walker) -> Vec<u8> {
+    w.weight.to_le_bytes().to_vec()
+}

@@ -1,0 +1,35 @@
+// fixture-path: crates/drivers/src/walker.rs
+// fixture-silences: state-coverage
+//! Silence witness: a checkpointed `Walker` whose every field appears in
+//! all four carriers — serializer, decoder, digest, and clone — so the
+//! field-set diff is empty and state-coverage stays quiet.
+
+pub struct Walker {
+    pub weight: f64,
+    pub age: u32,
+}
+
+/// Serialize carrier: both fields on the wire.
+pub fn serialize_walker(w: &Walker) -> Vec<u8> {
+    let mut out = w.weight.to_le_bytes().to_vec();
+    out.extend(w.age.to_le_bytes());
+    out
+}
+
+/// Deserialize carrier: both fields as parameters.
+pub fn decode_walker(weight: f64, age: u32) -> Walker {
+    Walker { weight, age }
+}
+
+/// Digest carrier: both fields folded in.
+pub fn walker_digest_full(w: &Walker) -> u64 {
+    w.weight.to_bits() ^ u64::from(w.age)
+}
+
+/// Clone carrier: both fields copied.
+pub fn branch_copy(w: &Walker) -> Walker {
+    Walker {
+        weight: w.weight,
+        age: w.age,
+    }
+}

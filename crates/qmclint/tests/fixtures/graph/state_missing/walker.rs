@@ -1,0 +1,43 @@
+// fixture-path: crates/drivers/src/walker.rs
+//! Seeded bug: a field added to the checkpointed `Walker` without
+//! extending the codec. `rng` is carried by the decoder, the digest and
+//! the clone carrier, but the serializer never mentions it — restarted
+//! walkers would come back with fresh streams. The state-coverage rule
+//! must flag the struct definition naming the missing field and carrier.
+
+//~v state-coverage
+pub struct Walker {
+    pub weight: f64,
+    pub age: u32,
+    pub rng: StdRng,
+}
+
+/// Serialize carrier: weight and age only — `rng` is the gap.
+pub fn serialize_walker(w: &Walker) -> Vec<u8> {
+    let mut out = w.weight.to_le_bytes().to_vec();
+    out.extend(w.age.to_le_bytes());
+    out
+}
+
+/// Deserialize carrier: covers every field (rng via `rng_state`).
+pub fn decode_walker(weight: f64, age: u32, rng_state: [u64; 4]) -> Walker {
+    Walker {
+        weight,
+        age,
+        rng: StdRng::from_state(rng_state),
+    }
+}
+
+/// Digest carrier: covers every field.
+pub fn walker_digest_full(w: &Walker) -> u64 {
+    w.weight.to_bits() ^ u64::from(w.age) ^ w.rng.state()[0]
+}
+
+/// Clone carrier: covers every field.
+pub fn branch_copy(w: &Walker) -> Walker {
+    Walker {
+        weight: w.weight,
+        age: w.age,
+        rng: w.rng.split_stream(),
+    }
+}

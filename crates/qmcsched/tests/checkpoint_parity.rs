@@ -1,9 +1,10 @@
 //! Checkpoint/restart bitwise-parity matrix (the PR's acceptance bar):
-//! for VMC and DMC, for both batching modes and all three kernel
-//! backends, a run checkpointed at an interior generation and resumed
-//! from the file must finish with per-walker full-state digests (walker
-//! buffers, positions, weight, age AND raw RNG words) identical to the
-//! straight run's — plus equal scalar outputs.
+//! for VMC and DMC, for both batching modes (crowd batching with the
+//! fused block refresh both off and on) and all three kernel backends, a
+//! run checkpointed at an interior generation and resumed from the file
+//! must finish with per-walker full-state digests (walker buffers,
+//! positions, weight, age AND raw RNG words) identical to the straight
+//! run's — plus equal scalar outputs.
 //!
 //! All cases live in ONE `#[test]`: `qmc_kernels::set_backend` is
 //! process-global, and cargo runs tests within a binary concurrently.
@@ -64,7 +65,7 @@ fn vmc_params(blocks: usize, batching: Batching) -> VmcParams {
 
 /// Straight DMC run of `STEPS` generations; returns per-walker digests
 /// and the scalar triple.
-fn dmc_straight(w: &Workload, batching: Batching) -> (Vec<u64>, (f64, f64, u64)) {
+fn dmc_straight(w: &Workload, batching: Batching, fused: bool) -> (Vec<u64>, (f64, f64, u64)) {
     let params = dmc_params(STEPS, batching);
     let mut walkers = initial_population(w.initial_positions(), WALKERS, SEED);
     let res = match batching {
@@ -82,7 +83,7 @@ fn dmc_straight(w: &Workload, batching: Batching) -> (Vec<u64>, (f64, f64, u64))
             res
         }
         Batching::Crowd(c) => {
-            let scheduler = CrowdScheduler::new(THREADS, c);
+            let scheduler = CrowdScheduler::new(THREADS, c).with_fused_refresh(fused);
             let mut crowds = scheduler.build_crowds(|| w.build_engine_f32(CodeVersion::Current));
             let (res, _) = run_dmc_crowd_controlled(
                 &mut crowds,
@@ -103,7 +104,12 @@ fn dmc_straight(w: &Workload, batching: Batching) -> (Vec<u64>, (f64, f64, u64))
 /// DMC run killed after `CUT` generations (checkpoint written by the
 /// periodic cadence), then resumed FROM THE FILE to `STEPS` with fresh
 /// engines — the restart path a real job takes.
-fn dmc_resumed(w: &Workload, batching: Batching, path: &str) -> (Vec<u64>, (f64, f64, u64)) {
+fn dmc_resumed(
+    w: &Workload,
+    batching: Batching,
+    fused: bool,
+    path: &str,
+) -> (Vec<u64>, (f64, f64, u64)) {
     {
         let params = dmc_params(CUT, batching);
         let mut walkers = initial_population(w.initial_positions(), WALKERS, SEED);
@@ -119,7 +125,7 @@ fn dmc_resumed(w: &Workload, batching: Batching, path: &str) -> (Vec<u64>, (f64,
                 run_dmc_parallel_controlled(&mut engines, &mut walkers, &params, None, &mut ctl);
             }
             Batching::Crowd(c) => {
-                let scheduler = CrowdScheduler::new(THREADS, c);
+                let scheduler = CrowdScheduler::new(THREADS, c).with_fused_refresh(fused);
                 let mut crowds =
                     scheduler.build_crowds(|| w.build_engine_f32(CodeVersion::Current));
                 run_dmc_crowd_controlled(&mut crowds, &mut walkers, &params, None, &mut ctl);
@@ -144,7 +150,7 @@ fn dmc_resumed(w: &Workload, batching: Batching, path: &str) -> (Vec<u64>, (f64,
             res
         }
         Batching::Crowd(c) => {
-            let scheduler = CrowdScheduler::new(THREADS, c);
+            let scheduler = CrowdScheduler::new(THREADS, c).with_fused_refresh(fused);
             let mut crowds = scheduler.build_crowds(|| w.build_engine_f32(CodeVersion::Current));
             let (res, _) = run_dmc_crowd_controlled(
                 &mut crowds,
@@ -163,7 +169,7 @@ fn dmc_resumed(w: &Workload, batching: Batching, path: &str) -> (Vec<u64>, (f64,
 }
 
 /// Straight VMC run of `STEPS` blocks.
-fn vmc_straight(w: &Workload, batching: Batching) -> (Vec<u64>, (f64, f64, u64)) {
+fn vmc_straight(w: &Workload, batching: Batching, fused: bool) -> (Vec<u64>, (f64, f64, u64)) {
     let params = vmc_params(STEPS, batching);
     let mut walkers = initial_population(w.initial_positions(), WALKERS, SEED);
     let res = match batching {
@@ -182,6 +188,7 @@ fn vmc_straight(w: &Workload, batching: Batching) -> (Vec<u64>, (f64, f64, u64))
                 .map(|_| w.build_engine_f32(CodeVersion::Current))
                 .collect();
             let mut crowd = Crowd::new(slots);
+            crowd.set_fused_refresh(fused);
             run_vmc_crowd_controlled(
                 &mut crowd,
                 &mut walkers,
@@ -198,7 +205,12 @@ fn vmc_straight(w: &Workload, batching: Batching) -> (Vec<u64>, (f64, f64, u64))
 }
 
 /// VMC killed after `CUT` blocks, resumed from the file to `STEPS`.
-fn vmc_resumed(w: &Workload, batching: Batching, path: &str) -> (Vec<u64>, (f64, f64, u64)) {
+fn vmc_resumed(
+    w: &Workload,
+    batching: Batching,
+    fused: bool,
+    path: &str,
+) -> (Vec<u64>, (f64, f64, u64)) {
     {
         let params = vmc_params(CUT, batching);
         let mut walkers = initial_population(w.initial_positions(), WALKERS, SEED);
@@ -216,6 +228,7 @@ fn vmc_resumed(w: &Workload, batching: Batching, path: &str) -> (Vec<u64>, (f64,
                     .map(|_| w.build_engine_f32(CodeVersion::Current))
                     .collect();
                 let mut crowd = Crowd::new(slots);
+                crowd.set_fused_refresh(fused);
                 run_vmc_crowd_controlled(&mut crowd, &mut walkers, &params, None, &mut ctl);
             }
         }
@@ -239,6 +252,7 @@ fn vmc_resumed(w: &Workload, batching: Batching, path: &str) -> (Vec<u64>, (f64,
                 .map(|_| w.build_engine_f32(CodeVersion::Current))
                 .collect();
             let mut crowd = Crowd::new(slots);
+            crowd.set_fused_refresh(fused);
             run_vmc_crowd_controlled(
                 &mut crowd,
                 &mut walkers,
@@ -260,12 +274,16 @@ fn checkpoint_resume_is_bitwise_across_drivers_batchings_and_backends() {
     let saved = Backend::current();
     for backend in [Backend::Reference, Backend::Soa, Backend::Simd] {
         qmc_kernels::set_backend(backend);
-        for batching in [Batching::PerWalker, Batching::Crowd(2)] {
-            let tag = format!("{backend:?}-{batching:?}");
+        for (batching, fused) in [
+            (Batching::PerWalker, false),
+            (Batching::Crowd(2), false),
+            (Batching::Crowd(2), true),
+        ] {
+            let tag = format!("{backend:?}-{batching:?}-fused{fused}");
 
             let path = scratch(&format!("dmc-{tag}.qmc"));
-            let (straight_w, straight_s) = dmc_straight(&w, batching);
-            let (resumed_w, resumed_s) = dmc_resumed(&w, batching, &path);
+            let (straight_w, straight_s) = dmc_straight(&w, batching, fused);
+            let (resumed_w, resumed_s) = dmc_resumed(&w, batching, fused, &path);
             assert_eq!(
                 straight_w, resumed_w,
                 "DMC [{tag}]: per-walker full digests diverged after resume"
@@ -276,8 +294,8 @@ fn checkpoint_resume_is_bitwise_across_drivers_batchings_and_backends() {
             );
 
             let path = scratch(&format!("vmc-{tag}.qmc"));
-            let (straight_w, straight_s) = vmc_straight(&w, batching);
-            let (resumed_w, resumed_s) = vmc_resumed(&w, batching, &path);
+            let (straight_w, straight_s) = vmc_straight(&w, batching, fused);
+            let (resumed_w, resumed_s) = vmc_resumed(&w, batching, fused, &path);
             assert_eq!(
                 straight_w, resumed_w,
                 "VMC [{tag}]: per-walker full digests diverged after resume"
@@ -297,7 +315,7 @@ fn checkpoint_resume_is_bitwise_across_drivers_batchings_and_backends() {
 #[test]
 fn dmc_checkpoint_resumes_bitwise_across_batching_modes() {
     let w = Workload::new(Benchmark::Graphite, Size::Scaled, SEED);
-    let (straight_w, straight_s) = dmc_straight(&w, Batching::PerWalker);
+    let (straight_w, straight_s) = dmc_straight(&w, Batching::PerWalker, false);
 
     // Kill a per-walker job at CUT...
     let path = scratch("cross-batching.qmc");
