@@ -41,17 +41,36 @@ echo "== qmcsched (deterministic schedule parity, VMC + DMC) =="
 cargo run --release -q -p qmcsched > /dev/null
 
 echo "== kernel backend verification (all backends, no silent skips) =="
-# kernel_verify prints one `status=ok` line per backend it actually ran;
-# a backend that is silently skipped (e.g. simd unavailable) without its
-# own log line fails the gate.
+# kernel_verify prints one `status=ok` line per backend it actually ran,
+# carrying the full family list; a backend that is silently skipped
+# (e.g. simd unavailable) or a family that quietly dropped out of the
+# sweep (the f32 ladder, the mw-v fast path) fails the gate.
+FAMILIES="bspline,bspline-mw-v,bspline-f32,distance,distance-f32,jastrow"
 cargo run --release -q -p qmc-kernels --bin kernel_verify | tee KERNEL_VERIFY.log
 for backend in reference soa simd; do
-    grep -q "kernel-verify: backend=${backend} .*status=ok" KERNEL_VERIFY.log || {
+    grep -q "kernel-verify: backend=${backend} families=${FAMILIES} .*status=ok" KERNEL_VERIFY.log || {
         echo "ci: backend '${backend}' missing from kernel_verify output (silent skip?)" >&2
         exit 1
     }
 done
 rm -f KERNEL_VERIFY.log
+
+echo "== kernel speedup gate (simd vs reference, B-spline family) =="
+# The wide-SIMD tiling has to actually pay for itself: the in-binary
+# micro-bench must show the Simd backend at >= 1.25x over Reference on
+# all three B-spline entry points, or the tiling regressed.
+cargo run --release -q -p qmc-kernels --bin kernel_verify -- --bench | tee KERNEL_BENCH.log
+python3 - <<'EOF'
+import re
+line = next(l for l in open("KERNEL_BENCH.log")
+            if l.startswith("kernel-bench:") and "speedup" in l)
+nums = dict(re.findall(r"(\w+)=([0-9.]+)x", line))
+for k in ("v", "vgh", "mw_vgl"):
+    s = float(nums[k])
+    assert s >= 1.25, f"simd speedup on {k} is {s:.2f}x < 1.25x"
+    print(f"ci: simd-vs-reference {k} = {s:.2f}x (>= 1.25x)")
+EOF
+rm -f KERNEL_BENCH.log
 
 echo "== checkpoint/resume parity smoke (kill at step 3, resume to 6) =="
 # A run checkpointed at an interior generation and restarted from the
@@ -101,24 +120,52 @@ fi
 grep -q "cannot resume" "$CK_DIR/err.log"
 ! grep -q "panicked" "$CK_DIR/err.log"
 
-echo "== bench snapshot (BENCH_pr8.json) =="
+echo "== bench snapshot (BENCH_pr9.json) =="
 cargo run --release -q -p qmc-bench --bin bench_snapshot -- \
-    --threads 2 --walkers 4 --steps 4 --reps 2 > BENCH_pr8.json
-grep -q '"schema":"qmc-bench-snapshot/2"' BENCH_pr8.json
+    --threads 2 --walkers 4 --steps 4 --reps 2 > BENCH_pr9.json
+grep -q '"schema":"qmc-bench-snapshot/2"' BENCH_pr9.json
 # The crowd run must exercise the fused multi-walker spline kernel: a
 # zero `Bspline-mw-vgl` column means the batched path silently fell back.
 python3 - <<'EOF'
 import json
-doc = json.load(open("BENCH_pr8.json"))
+doc = json.load(open("BENCH_pr9.json"))
 crowd = [r for r in doc["runs"] if r["batching"] == "crowd"]
-assert crowd, "no crowd-batched run in BENCH_pr8.json"
+assert crowd, "no crowd-batched run in BENCH_pr9.json"
 mw = crowd[0]["kernels"]["Bspline-mw-vgl"]
 assert mw > 0.0, f"Bspline-mw-vgl is {mw}: the crowd run did not drive the batched kernel"
 print(f"ci: crowd Bspline-mw-vgl = {mw:.4f}s (nonzero, batched path live)")
 EOF
 
+echo "== crowd-vs-per-walker throughput gate (batched distance tables) =="
+# The regression this gates: before the batched mw_* table ops the crowd
+# drive spent 1.45x the per-walker time in DistTable-AA and lost ~7% of
+# total throughput. Gated on a *longer* snapshot than BENCH_pr9.json —
+# the series snapshot's ~30ms runs jitter +-10%, which would make a
+# per-backend ratio gate a coin flip, and its config must stay fixed for
+# bench_compare comparability. At this length the ratio is stable
+# within a few percent; 10% slack still catches the fixed regression.
+./target/release/bench_snapshot --threads 2 --walkers 8 --steps 16 --reps 3 \
+    > CROWD_GATE.json
+python3 - <<'EOF'
+import json
+doc = json.load(open("CROWD_GATE.json"))
+cur = [r for r in doc["runs"] if r["code"] == "Current"]
+for backend in sorted({r["kernel_backend"] for r in cur}):
+    pw = [r for r in cur if r["kernel_backend"] == backend and r["batching"] == "per-walker"]
+    cw = [r for r in cur if r["kernel_backend"] == backend and r["batching"] == "crowd"]
+    if not (pw and cw):
+        continue
+    tp_pw = pw[0]["throughput_samples_per_s"]
+    tp_cw = cw[0]["throughput_samples_per_s"]
+    assert tp_cw >= 0.90 * tp_pw, (
+        f"crowd throughput regressed vs per-walker on {backend}: "
+        f"{tp_cw:.2f} < {tp_pw:.2f} samples/s")
+    print(f"ci: {backend} crowd {tp_cw:.2f} vs per-walker {tp_pw:.2f} samples/s (ok)")
+EOF
+rm -f CROWD_GATE.json
+
 echo "== bench series gate (vs previous PR snapshot) =="
-cargo run --release -q -p qmc-bench --bin bench_compare -- BENCH_pr7.json BENCH_pr8.json
+cargo run --release -q -p qmc-bench --bin bench_compare -- BENCH_pr8.json BENCH_pr9.json
 
 echo "== bench smoke (crowd kernels) =="
 cargo bench -p qmc-bench --bench bench_crowd -- --test

@@ -4,7 +4,8 @@
 //! Two kernels from the crowd subsystem:
 //!  - B-spline SPO `vgl`: the fused `mw_evaluate_vgl` (one table walk per
 //!    walker, gradient/Laplacian contracted in-register) against a loop of
-//!    scalar `evaluate_vgl` calls on the NiO-32-scaled orbital table. The
+//!    scalar `evaluate_vgl` calls on the NiO-32-scaled orbital table,
+//!    swept over every kernel backend (the crowd×backend matrix). The
 //!    batched path should win ≥1.2x at crowd ≥ 32.
 //!  - J2 ratio+gradient: `BatchedWaveFunctionComponent::mw_ratio_grad`
 //!    against the hand-written scalar loop — this measures the batching
@@ -14,6 +15,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qmc_bspline::CubicBspline1D;
 use qmc_containers::{Pos, TinyVector};
+use qmc_kernels::{set_backend, Backend};
 use qmc_particles::{random_positions_in_cell, CrystalLattice, Layout, ParticleSet, Species};
 use qmc_wavefunction::{
     traits::WaveFunctionComponent, BatchedWaveFunctionComponent, BsplineSpo, J2Soa, PairFunctors,
@@ -28,46 +30,64 @@ const CROWD_SIZES: [usize; 4] = [1, 8, 32, 128];
 
 fn bench_spo_mw_vgl(c: &mut Criterion) {
     // NiO-32 at the scaled size: the real orbital count and spline grid of
-    // the workload the acceptance criterion names.
+    // the workload the acceptance criterion names. The crowd×backend
+    // matrix: both drive modes (per-walker loop vs fused batch) at every
+    // crowd size, for every kernel backend — `BsplineSpo` captures the
+    // backend at construction, so one SPO instance is built per backend.
     let w = Workload::new(Benchmark::NiO32, Size::Scaled, 11);
     let lattice = CrystalLattice::<f64>::orthorhombic(w.spec.supercell(Size::Scaled));
-    let mut spo = BsplineSpo::new(w.table_f64(), lattice.clone(), SpoLayout::Soa);
-    let ns = spo.size();
 
     let mut rng = StdRng::seed_from_u64(17);
     let pool = random_positions_in_cell(&lattice, 256, &mut rng);
 
+    let session_backend = Backend::current();
+    let ns = {
+        let spo = BsplineSpo::new(w.table_f64(), lattice.clone(), SpoLayout::Soa);
+        spo.size()
+    };
     let mut group = c.benchmark_group(format!("crowd_spo_vgl_ns{ns}"));
-    for &nw in &CROWD_SIZES {
-        let mut psi = vec![0.0f64; nw * ns];
-        let mut grad = vec![0.0f64; 3 * nw * ns];
-        let mut lap = vec![0.0f64; nw * ns];
-        let mut idx = 0usize;
+    for backend in Backend::ALL {
+        set_backend(backend);
+        let mut spo = BsplineSpo::new(w.table_f64(), lattice.clone(), SpoLayout::Soa);
+        for &nw in &CROWD_SIZES {
+            let mut psi = vec![0.0f64; nw * ns];
+            let mut grad = vec![0.0f64; 3 * nw * ns];
+            let mut lap = vec![0.0f64; nw * ns];
+            let mut idx = 0usize;
 
-        group.bench_function(BenchmarkId::new("per_walker", nw), |b| {
-            b.iter(|| {
-                for s in 0..nw {
-                    let p = pool[(idx + s) % pool.len()];
-                    spo.evaluate_vgl(
-                        p,
-                        &mut psi[s * ns..(s + 1) * ns],
-                        &mut grad[s * 3 * ns..(s + 1) * 3 * ns],
-                        &mut lap[s * ns..(s + 1) * ns],
-                    );
-                }
-                idx = (idx + nw) % pool.len();
-                black_box(&psi);
-            });
-        });
-        group.bench_function(BenchmarkId::new("batched", nw), |b| {
-            b.iter(|| {
-                let pos: Vec<Pos<f64>> = (0..nw).map(|s| pool[(idx + s) % pool.len()]).collect();
-                spo.mw_evaluate_vgl(&pos, &mut psi, &mut grad, &mut lap);
-                idx = (idx + nw) % pool.len();
-                black_box(&psi);
-            });
-        });
+            group.bench_function(
+                BenchmarkId::new(format!("per_walker_{}", backend.label()), nw),
+                |b| {
+                    b.iter(|| {
+                        for s in 0..nw {
+                            let p = pool[(idx + s) % pool.len()];
+                            spo.evaluate_vgl(
+                                p,
+                                &mut psi[s * ns..(s + 1) * ns],
+                                &mut grad[s * 3 * ns..(s + 1) * 3 * ns],
+                                &mut lap[s * ns..(s + 1) * ns],
+                            );
+                        }
+                        idx = (idx + nw) % pool.len();
+                        black_box(&psi);
+                    });
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("batched_{}", backend.label()), nw),
+                |b| {
+                    b.iter(|| {
+                        let pos: Vec<Pos<f64>> =
+                            (0..nw).map(|s| pool[(idx + s) % pool.len()]).collect();
+                        spo.mw_evaluate_vgl(&pos, &mut psi, &mut grad, &mut lap);
+                        idx = (idx + nw) % pool.len();
+                        black_box(&psi);
+                    });
+                },
+            );
+        }
     }
+    set_backend(session_backend);
     group.finish();
 }
 

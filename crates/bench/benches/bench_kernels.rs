@@ -1,12 +1,13 @@
 //! Criterion bench: per-backend coverage of the `qmc-kernels` dispatch
 //! points — every [`Backend`] times every extracted kernel family
-//! (B-spline v/vgh/mw-vgl, distance rows, J2 accumulation), so a backend
-//! regression shows up in the same Criterion series the cross-backend
-//! verifier gates for correctness.
+//! (B-spline v/vgh/mw-vgl, the NLPP-sized value-only batch, distance
+//! rows, J2 accumulation) plus the f32 rung of the lane-width ladder, so
+//! a backend regression shows up in the same Criterion series the
+//! cross-backend verifier gates for correctness.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qmc_bspline::MultiBspline3D;
-use qmc_kernels::bspline::{evaluate_v, evaluate_vgh, mw_evaluate_vgl};
+use qmc_kernels::bspline::{evaluate_v, evaluate_vgh, mw_evaluate_v, mw_evaluate_vgl};
 use qmc_kernels::distance::distance_row;
 use qmc_kernels::jastrow::j2_row_vgl;
 use qmc_kernels::Backend;
@@ -61,6 +62,72 @@ fn bench_bspline_backends(c: &mut Criterion) {
     group.finish();
 }
 
+/// The NLPP quadrature inner loop: 12 value-only orbital evaluations per
+/// (electron, ion) pair, batched through `mw_evaluate_v`. This is the
+/// shape the `ratios_value_only` fast path dispatches.
+fn bench_nlpp_v_backends(c: &mut Criterion) {
+    let ns = 128;
+    let nq = 12;
+    let table = MultiBspline3D::<f64>::random([16, 16, 16], ns, 13);
+    let view = table.view();
+    let mut rng = StdRng::seed_from_u64(15);
+    let quads: Vec<Vec<[f64; 3]>> = (0..8)
+        .map(|_| {
+            (0..nq)
+                .map(|_| [rng.random(), rng.random(), rng.random()])
+                .collect()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group(format!("kernels_nlpp_v_ns{ns}_nq{nq}"));
+    for b in Backend::ALL {
+        let mut psi = vec![0.0; nq * ns];
+        let mut idx = 0usize;
+        group.bench_function(BenchmarkId::new("mw_v", b.label()), |bench| {
+            bench.iter(|| {
+                idx = (idx + 1) % quads.len();
+                mw_evaluate_v(b, &view, &quads[idx], &mut psi);
+                black_box(&psi);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The f32 rung of the lane-width ladder: same kernels, 16-wide lanes.
+fn bench_bspline_f32_backends(c: &mut Criterion) {
+    let ns = 128;
+    let table = MultiBspline3D::<f32>::random([16, 16, 16], ns, 11);
+    let view = table.view();
+    let mut rng = StdRng::seed_from_u64(5);
+    let points: Vec<[f32; 3]> = (0..16)
+        .map(|_| [rng.random(), rng.random(), rng.random()])
+        .collect();
+    let nw = points.len();
+
+    let mut group = c.benchmark_group(format!("kernels_bspline_f32_ns{ns}"));
+    for b in Backend::ALL {
+        let mut psi = vec![0.0f32; ns];
+        let mut idx = 0usize;
+        group.bench_function(BenchmarkId::new("v", b.label()), |bench| {
+            bench.iter(|| {
+                idx = (idx + 1) % nw;
+                evaluate_v(b, &view, points[idx], &mut psi);
+                black_box(&psi);
+            });
+        });
+        let (mut p, mut g, mut h) = (vec![0.0f32; ns], vec![0.0f32; 3 * ns], vec![0.0f32; 6 * ns]);
+        group.bench_function(BenchmarkId::new("vgh", b.label()), |bench| {
+            bench.iter(|| {
+                idx = (idx + 1) % nw;
+                evaluate_vgh(b, &view, points[idx], &mut p, &mut g, &mut h);
+                black_box(&p);
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_distance_backends(c: &mut Criterion) {
     let n = 256;
     let cell = CrystalLattice::<f64>::orthorhombic([6.0, 7.0, 8.0]);
@@ -107,6 +174,8 @@ fn bench_jastrow_backends(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_bspline_backends,
+    bench_nlpp_v_backends,
+    bench_bspline_f32_backends,
     bench_distance_backends,
     bench_jastrow_backends
 );

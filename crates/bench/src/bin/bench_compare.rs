@@ -6,10 +6,13 @@
 //!
 //! Compares two `qmc-bench-snapshot/{1,2}` documents (the `BENCH_pr*.json`
 //! artifacts successive PRs leave behind). Runs are matched by
-//! `(code, batching)` — schema 1 predates the `batching` key and defaults
-//! to `per-walker` — and the gate is the **total kernel time** summed over
-//! all matched runs: if the new total exceeds the previous one by more
-//! than the tolerance, the tool exits 1 and CI fails.
+//! `(code, batching, kernel_backend)` — schema 1 predates the `batching`
+//! key and defaults to `per-walker`, and snapshots before the backend
+//! sweep default to `soa` — and the gate is the **total kernel time**
+//! summed over all matched runs: if the new total exceeds the previous one
+//! by more than the tolerance, the tool exits 1 and CI fails. New
+//! (unmatched) runs — e.g. the explicit-backend sweep the snapshot grew —
+//! are reported but not gated until the next PR gives them a baseline.
 //!
 //! The tolerance defaults to 15% and can be overridden for noisy CI hosts
 //! via `QMC_BENCH_TOLERANCE_PCT` (e.g. `QMC_BENCH_TOLERANCE_PCT=50`).
@@ -33,15 +36,20 @@ fn kernel_total(run: &JsonValue) -> f64 {
         })
 }
 
-/// Match key for a run: `code/batching`, batching defaulting to
-/// `per-walker` for schema-1 snapshots.
+/// Match key for a run: `code/batching/backend`, batching defaulting to
+/// `per-walker` for schema-1 snapshots and the backend to `soa` for
+/// snapshots that predate the explicit-backend sweep.
 fn run_key(run: &JsonValue) -> String {
     let code = run.get("code").and_then(JsonValue::as_str).unwrap_or("?");
     let batching = run
         .get("batching")
         .and_then(JsonValue::as_str)
         .unwrap_or("per-walker");
-    format!("{code}/{batching}")
+    let backend = run
+        .get("kernel_backend")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("soa");
+    format!("{code}/{batching}/{backend}")
 }
 
 fn load_runs(path: &str) -> Vec<JsonValue> {

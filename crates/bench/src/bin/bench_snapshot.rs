@@ -3,11 +3,14 @@
 //! Runs the graphite workload under the Ref and Current code versions
 //! (per-walker batching) plus Current under a lock-step crowd — the crowd
 //! run drives the batched `Bspline-mw-vgl` kernel, so that column is live
-//! in the snapshot rather than permanently zero — and prints one
-//! `qmc-bench-snapshot/2` JSON document to stdout: wall time, throughput,
-//! and per-kernel seconds for every kernel category. CI redirects this
-//! into `BENCH_pr<N>.json` so successive PRs leave comparable timing
-//! artifacts next to the test logs; `bench_compare` gates the series.
+//! in the snapshot rather than permanently zero — then sweeps the Current
+//! code across the explicit kernel backends (`reference` and `simd`, in
+//! both batching modes), so the snapshot carries a per-backend timing
+//! matrix. One `qmc-bench-snapshot/2` JSON document goes to stdout: wall
+//! time, throughput, and per-kernel seconds for every kernel category. CI
+//! redirects this into `BENCH_pr<N>.json` so successive PRs leave
+//! comparable timing artifacts next to the test logs; `bench_compare`
+//! gates the series (runs matched by code/batching/backend).
 //!
 //! Knobs are the shared harness flags (`--walkers`, `--steps`,
 //! `--threads`, `--seed`, `--reps`, `--full`); defaults are smoke-sized.
@@ -15,6 +18,7 @@
 use qmc_bench::{run_report_batched, HarnessConfig};
 use qmc_instrument::json::JsonWriter;
 use qmc_instrument::ALL_KERNELS;
+use qmc_kernels::{set_backend, Backend};
 use qmc_workloads::{Batching, Benchmark, CodeVersion};
 
 fn main() {
@@ -32,12 +36,46 @@ fn main() {
     j.key("steps").u64_val(cfg.steps as u64);
     j.key("seed").u64_val(cfg.seed);
     j.key("runs").begin_arr();
+    // The first three runs keep the historical series (session-default
+    // backend); the explicit-backend sweep follows. Engines capture the
+    // backend at construction, so `set_backend` before each run is enough.
     let runs = [
-        (CodeVersion::Ref, Batching::PerWalker, "per-walker"),
-        (CodeVersion::Current, Batching::PerWalker, "per-walker"),
-        (CodeVersion::Current, Batching::Crowd(crowd), "crowd"),
+        (CodeVersion::Ref, Batching::PerWalker, "per-walker", None),
+        (
+            CodeVersion::Current,
+            Batching::PerWalker,
+            "per-walker",
+            None,
+        ),
+        (CodeVersion::Current, Batching::Crowd(crowd), "crowd", None),
+        (
+            CodeVersion::Current,
+            Batching::PerWalker,
+            "per-walker",
+            Some(Backend::Reference),
+        ),
+        (
+            CodeVersion::Current,
+            Batching::PerWalker,
+            "per-walker",
+            Some(Backend::Simd),
+        ),
+        (
+            CodeVersion::Current,
+            Batching::Crowd(crowd),
+            "crowd",
+            Some(Backend::Reference),
+        ),
+        (
+            CodeVersion::Current,
+            Batching::Crowd(crowd),
+            "crowd",
+            Some(Backend::Simd),
+        ),
     ];
-    for (code, batching, batch_label) in runs {
+    let session_backend = Backend::current();
+    for (code, batching, batch_label, backend) in runs {
+        set_backend(backend.unwrap_or(session_backend));
         let report = run_report_batched(&w, code, &cfg, batching);
         j.begin_obj();
         j.key("code").str_val(&report.code);

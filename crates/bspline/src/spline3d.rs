@@ -278,6 +278,19 @@ impl<T: Real> MultiBspline3D<T> {
         self.evaluate_v_backend(Backend::Soa, u, psi);
     }
 
+    /// Multi-walker value-only evaluation on an explicit kernel backend:
+    /// evaluates `us.len()` positions against the shared coefficient
+    /// table, point `q` owning `psi[q*ns..(q+1)*ns]`. Per-point results
+    /// are bit-identical to [`Self::evaluate_v_backend`] on the same
+    /// backend — this is the NLPP quadrature fast path, where one
+    /// electron's 12 rotated positions share a single dispatch.
+    // qmclint: allow(timer-coverage) — timed by the caller: BsplineSpo
+    // wraps this in Kernel::BsplineV; the bspline crate itself stays free
+    // of instrumentation dependencies.
+    pub fn mw_evaluate_v_backend(&self, backend: Backend, us: &[[T; 3]], psi: &mut [T]) {
+        qmc_kernels::bspline::mw_evaluate_v(backend, &self.view(), us, psi);
+    }
+
     /// Value+gradient+Hessian evaluation on an explicit kernel backend.
     pub fn evaluate_vgh_backend(
         &self,

@@ -134,18 +134,28 @@ impl<T: Real> Crowd<T> {
         let mut oldpos: Vec<Pos<f64>> = vec![TinyVector::zero(); nw];
         let mut newpos: Vec<Pos<f64>> = vec![TinyVector::zero(); nw];
         let mut chi: Vec<Pos<f64>> = vec![TinyVector::zero(); nw];
+        let mut npt: Vec<Pos<T>> = vec![TinyVector::zero(); nw];
         let mut accept = vec![false; nw];
 
         for iat in 0..n {
-            // Stage A: batched gradient at the current position.
-            for e in &mut self.slots[..nw] {
-                e.pset.prepare_move(iat);
+            // Stage A: batched row refresh + gradient at the current
+            // position. The distance-table rows of the whole crowd are
+            // refreshed back-to-back (one timer scope, bitwise identical per
+            // walker) instead of interleaved with each walker's much larger
+            // wavefunction working set — the source of the crowd-vs-
+            // per-walker DistTable-AA regression.
+            {
+                let mut psets: Vec<&mut ParticleSet<T>> =
+                    self.slots[..nw].iter_mut().map(|e| &mut e.pset).collect();
+                ParticleSet::mw_prepare_moves(&mut psets, iat);
             }
             {
                 let (mut psis, psets) = Self::split_psi_pset(&mut self.slots[..nw]);
                 TrialWaveFunction::mw_eval_grad(&mut psis, &psets, iat, &mut g);
             }
-            // Drifted Gaussian proposals, one per slot.
+            // Drifted Gaussian proposals, one per slot (private RNG streams
+            // drawn in slot order, exactly as before), then all candidate
+            // distance rows in one batched stage.
             for (s, w) in walkers.iter_mut().enumerate() {
                 let drift_old = limited_drift(g[s], tau);
                 chi[s] = gaussian_pos(&mut w.rng) * sqrt_tau;
@@ -154,8 +164,12 @@ impl<T: Real> Crowd<T> {
                 oldpos[s] = op;
                 newpos[s] = np;
                 stats[s].attempted += 1;
-                let npt: Pos<T> = np.cast();
-                self.slots[s].pset.make_move(iat, npt);
+                npt[s] = np.cast();
+            }
+            {
+                let mut psets: Vec<&mut ParticleSet<T>> =
+                    self.slots[..nw].iter_mut().map(|e| &mut e.pset).collect();
+                ParticleSet::mw_make_moves(&mut psets, iat, &npt[..nw]);
             }
             // Stage B: batched ratio + gradient at the proposed position.
             {

@@ -164,25 +164,37 @@ impl NonLocalPP {
             let mut epos = vec![TinyVector::<f64, 3>::zero(); n];
             p.store_positions(&mut epos);
             let lat64 = p.lattice.cast::<f64>();
+            // Per-pair scratch, sized once by the fixed quadrature order.
+            let npts = self.grid.len();
+            let mut dirs = vec![TinyVector::<f64, 3>::zero(); npts];
+            let mut newpos = vec![Pos::<T>::zero(); npts];
+            let mut ratios = vec![0.0f64; npts];
+            let mut channel_sums = [0.0f64; 4];
             for (i, a, r) in pairs {
                 let sp = &self.species[self.ion_group[a]];
+                debug_assert!(sp.channels.len() <= channel_sums.len());
                 let rot = random_rotation(rng);
                 // Old direction from ion to electron.
                 let old_dir = lat64.min_image(epos[i] - self.ion_pos[a]);
                 let old_hat = old_dir / old_dir.norm();
-                // Quadrature: ratio at each rotated grid point.
-                let mut channel_sums = vec![0.0f64; sp.channels.len()];
-                for q in &self.grid {
-                    let dir = rotate(rot, *q);
-                    let newpos64 = self.ion_pos[a] + dir * r;
-                    let newpos: Pos<T> = newpos64.cast();
-                    p.make_move(i, newpos);
-                    let ratio = psi.calc_ratio(p, i);
-                    psi.reject_move(i);
-                    p.reject_move(i);
-                    let cosg = old_hat.dot(&dir);
+                // Rotate the whole grid first (RNG was drawn above, so the
+                // stream is untouched by how the ratios are batched) ...
+                for (k, q) in self.grid.iter().enumerate() {
+                    dirs[k] = rotate(rot, *q);
+                    newpos[k] = (self.ion_pos[a] + dirs[k] * r).cast();
+                }
+                // ... then evaluate every quadrature ratio through the
+                // batched value-only path: determinants share one
+                // Bspline-v dispatch and one inverse-row extraction for
+                // all points, Jastrows fall back to per-point candidate
+                // rows. Bitwise identical to the per-point
+                // make_move/calc_ratio/reject loop.
+                psi.calc_ratios_v(p, i, &newpos, &mut ratios);
+                channel_sums[..sp.channels.len()].fill(0.0);
+                for (k, dir) in dirs.iter().enumerate() {
+                    let cosg = old_hat.dot(dir);
                     for (c, ch) in sp.channels.iter().enumerate() {
-                        channel_sums[c] += legendre(ch.l, cosg) * ratio;
+                        channel_sums[c] += legendre(ch.l, cosg) * ratios[k];
                     }
                 }
                 for (c, ch) in sp.channels.iter().enumerate() {

@@ -8,7 +8,7 @@
 //! `--release`; debug timings are meaningless).
 
 use qmc_containers::{padded_len, AlignedVec, Real};
-use qmc_kernels::bspline::{evaluate_v, evaluate_vgh, mw_evaluate_vgl};
+use qmc_kernels::bspline::{evaluate_v, evaluate_vgh, mw_evaluate_v, mw_evaluate_vgl};
 use qmc_kernels::distance::distance_row;
 use qmc_kernels::jastrow::{j2_accept_value_rows, j2_row_vgl};
 use qmc_kernels::{Backend, MinImageCell, SplineView};
@@ -82,6 +82,25 @@ impl MinImageCell<f64> for OrthoCell {
     }
 }
 
+struct OrthoCell32 {
+    edges: [f32; 3],
+}
+
+impl MinImageCell<f32> for OrthoCell32 {
+    fn ortho_edges(&self) -> Option<[f32; 3]> {
+        Some(self.edges)
+    }
+
+    fn min_image3(&self, dr: [f32; 3]) -> [f32; 3] {
+        let mut out = dr;
+        for d in 0..3 {
+            let l = self.edges[d];
+            out[d] -= l * (out[d] / l + 0.5).floor();
+        }
+        out
+    }
+}
+
 /// Verifies one backend against precomputed reference outputs; returns the
 /// number of scalar comparisons performed.
 fn verify_backend(backend: Backend) -> usize {
@@ -142,6 +161,71 @@ fn verify_backend(backend: Backend) -> usize {
     );
     checked += 5 * nw * ns;
 
+    // Value-only multi-point batch (the NLPP quadrature shape): bitwise
+    // against a per-point reference loop.
+    let mut psi_mw = vec![0.0; nw * ns];
+    mw_evaluate_v(backend, &t, &us, &mut psi_mw);
+    for (q, &u) in us.iter().enumerate() {
+        let mut psi_ref = vec![0.0; ns];
+        evaluate_v(Backend::Reference, &t, u, &mut psi_ref);
+        assert_eq!(
+            &psi_mw[q * ns..(q + 1) * ns],
+            &psi_ref[..],
+            "{backend}: bspline mw-v mismatch"
+        );
+    }
+    checked += nw * ns;
+
+    // f32 rung of the lane-width ladder: bitwise across backends (the
+    // per-orbital op chain is width-independent) and tolerance-bounded
+    // against an f64 shadow table holding the same coefficient values —
+    // the mixed-precision drift contract.
+    let table32 = Table::<f32>::random([6, 5, 7], ns, 101);
+    let t32 = table32.view();
+    let nodes = (6 + 3) * (5 + 3) * (7 + 3);
+    let ns_pad64 = padded_len::<f64>(ns);
+    let mut shadow = AlignedVec::<f64>::zeros(nodes * ns_pad64);
+    for node in 0..nodes {
+        for s in 0..ns {
+            shadow.as_mut_slice()[node * ns_pad64 + s] =
+                f64::from(table32.coefs.as_slice()[node * table32.ns_pad + s]);
+        }
+    }
+    let t64 = SplineView {
+        grid: [6, 5, 7],
+        num_splines: ns,
+        ns_pad: ns_pad64,
+        coefs: shadow.as_slice(),
+    };
+    for &u in &us {
+        let u32 = [u[0] as f32, u[1] as f32, u[2] as f32];
+        let u64s = [f64::from(u32[0]), f64::from(u32[1]), f64::from(u32[2])];
+        let mut psi32_ref = vec![0.0f32; ns];
+        evaluate_v(Backend::Reference, &t32, u32, &mut psi32_ref);
+        let mut psi32 = vec![0.0f32; ns];
+        evaluate_v(backend, &t32, u32, &mut psi32);
+        assert_eq!(psi32, psi32_ref, "{backend}: bspline f32 v mismatch");
+        let mut psi64 = vec![0.0f64; ns];
+        evaluate_v(Backend::Reference, &t64, u64s, &mut psi64);
+        for (s, (&lo, &hi)) in psi32.iter().zip(psi64.iter()).enumerate() {
+            assert!(
+                (f64::from(lo) - hi).abs() < 1e-4,
+                "{backend}: f32 ladder drift at spline {s}: {lo} vs {hi}"
+            );
+        }
+        let (mut pa, mut ga, mut ha) =
+            (vec![0.0f32; ns], vec![0.0f32; 3 * ns], vec![0.0f32; 6 * ns]);
+        evaluate_vgh(Backend::Reference, &t32, u32, &mut pa, &mut ga, &mut ha);
+        let (mut pb, mut gb, mut hb) =
+            (vec![0.0f32; ns], vec![0.0f32; 3 * ns], vec![0.0f32; 6 * ns]);
+        evaluate_vgh(backend, &t32, u32, &mut pb, &mut gb, &mut hb);
+        assert!(
+            pa == pb && ga == gb && ha == hb,
+            "{backend}: bspline f32 vgh mismatch"
+        );
+        checked += 2 * ns + 10 * ns;
+    }
+
     // Distance rows: bitwise against reference on an orthorhombic cell.
     let n = 37;
     let cell = OrthoCell {
@@ -163,6 +247,41 @@ fn verify_backend(backend: Backend) -> usize {
     assert!(
         dist == dist_ref && disp == disp_ref,
         "{backend}: distance row mismatch"
+    );
+    checked += 4 * n;
+
+    // Distance rows, f32 rung: bitwise against the f32 reference (the
+    // branch-free min-image arithmetic is identical per element at any
+    // lane width).
+    let cell32 = OrthoCell32 {
+        edges: [6.0, 7.0, 8.0],
+    };
+    let xs32: Vec<f32> = xs.iter().map(|&x| x as f32).collect();
+    let ys32: Vec<f32> = ys.iter().map(|&y| y as f32).collect();
+    let zs32: Vec<f32> = zs.iter().map(|&z| z as f32).collect();
+    let pos32 = [1.2f32, 5.1, 3.3];
+    let run32 = |b: Backend| {
+        let mut dist = vec![0.0f32; n];
+        let mut disp = [vec![0.0f32; n], vec![0.0f32; n], vec![0.0f32; n]];
+        let [a2, b2, c2] = &mut disp;
+        distance_row(
+            b,
+            &cell32,
+            &xs32,
+            &ys32,
+            &zs32,
+            pos32,
+            n,
+            &mut dist,
+            [a2, b2, c2],
+        );
+        (dist, disp)
+    };
+    let (dist_ref32, disp_ref32) = run32(Backend::Reference);
+    let (dist32, disp32) = run32(backend);
+    assert!(
+        dist32 == dist_ref32 && disp32 == disp_ref32,
+        "{backend}: f32 distance row mismatch"
     );
     checked += 4 * n;
 
@@ -282,7 +401,7 @@ fn main() {
     let bench_mode = std::env::args().any(|a| a == "--bench");
     for b in Backend::ALL {
         let checked = verify_backend(b);
-        println!("kernel-verify: backend={b} families=bspline,distance,jastrow checked={checked} status=ok");
+        println!("kernel-verify: backend={b} families=bspline,bspline-mw-v,bspline-f32,distance,distance-f32,jastrow checked={checked} status=ok");
     }
     if bench_mode {
         bench();

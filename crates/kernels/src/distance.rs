@@ -18,13 +18,14 @@
 //! * `soa` — component-slab passes: each displacement component is
 //!   streamed through its output slab in a separate auto-vectorizable
 //!   loop, then the distance pass reads the three finished slabs.
-//! * `simd` — explicit 8-wide [`Lane`] blocks with a scalar tail.
+//! * `simd` — explicit [`WideLane`] blocks with a scalar tail, width
+//!   following the mixed-precision ladder (8-wide `f64`, 16-wide `f32`).
 //!
 //! Non-orthorhombic cells take the same general minimum-image wrap on
 //! every backend (one [`MinImageCell::min_image3`] call per partner), so
 //! the bitwise guarantee holds there trivially.
 
-use crate::lanes::{Lane, LANES};
+use crate::lanes::{wide_f32, WideLane};
 use crate::Backend;
 use qmc_containers::Real;
 
@@ -157,13 +158,33 @@ fn ortho_soa<T: Real>(
 /// One lane of the min-image arithmetic, elementwise identical to the
 /// scalar form: `d -= l * (d * il + 1/2).floor()`.
 #[inline(always)]
-fn min_image_lane<T: Real>(d: Lane<T>, l: T, il: T) -> Lane<T> {
-    let wrap = d.mul_scalar(il).add(Lane::splat(T::HALF)).floor();
+fn min_image_lane<T: Real, const W: usize>(d: WideLane<T, W>, l: T, il: T) -> WideLane<T, W> {
+    let wrap = d.mul_scalar(il).add(WideLane::splat(T::HALF)).floor();
     d.sub(wrap.mul_scalar(l))
 }
 
-/// Explicit 8-wide lane blocks with a scalar tail.
+/// Width dispatch for the explicit-SIMD row kernel: `f64` runs 8-wide,
+/// `f32` takes the 16-wide rung of the precision ladder. Widening is
+/// elementwise, so both rungs stay bitwise identical to the scalar form.
 fn ortho_simd<T: Real>(
+    edges: [T; 3],
+    xs: &[T],
+    ys: &[T],
+    zs: &[T],
+    pos: [T; 3],
+    n: usize,
+    out_dist: &mut [T],
+    out_disp: [&mut [T]; 3],
+) {
+    if wide_f32::<T>() {
+        ortho_simd_w::<T, 16>(edges, xs, ys, zs, pos, n, out_dist, out_disp);
+    } else {
+        ortho_simd_w::<T, 8>(edges, xs, ys, zs, pos, n, out_dist, out_disp);
+    }
+}
+
+/// Explicit lane blocks with a scalar tail.
+fn ortho_simd_w<T: Real, const W: usize>(
     [lx, ly, lz]: [T; 3],
     xs: &[T],
     ys: &[T],
@@ -176,17 +197,20 @@ fn ortho_simd<T: Real>(
     let (ilx, ily, ilz) = (T::ONE / lx, T::ONE / ly, T::ONE / lz);
     let [ox, oy, oz] = out_disp;
     let mut j0 = 0;
-    while j0 + LANES <= n {
-        let dx = min_image_lane(Lane::load(&xs[j0..]).sub(Lane::splat(pos[0])), lx, ilx);
-        let dy = min_image_lane(Lane::load(&ys[j0..]).sub(Lane::splat(pos[1])), ly, ily);
-        let dz = min_image_lane(Lane::load(&zs[j0..]).sub(Lane::splat(pos[2])), lz, ilz);
+    while j0 + W <= n {
+        let px = WideLane::<T, W>::splat(pos[0]);
+        let py = WideLane::<T, W>::splat(pos[1]);
+        let pz = WideLane::<T, W>::splat(pos[2]);
+        let dx = min_image_lane(WideLane::load(&xs[j0..]).sub(px), lx, ilx);
+        let dy = min_image_lane(WideLane::load(&ys[j0..]).sub(py), ly, ily);
+        let dz = min_image_lane(WideLane::load(&zs[j0..]).sub(pz), lz, ilz);
         dx.store(&mut ox[j0..]);
         dy.store(&mut oy[j0..]);
         dz.store(&mut oz[j0..]);
         // dx.mul_add(dx, dy.mul_add(dy, dz*dz)).sqrt(), lane-wise.
         let n2 = dz.mul(dz).fma(dy, dy).fma(dx, dx);
         n2.sqrt().store(&mut out_dist[j0..]);
-        j0 += LANES;
+        j0 += W;
     }
     for j in j0..n {
         let mut dx = xs[j] - pos[0];

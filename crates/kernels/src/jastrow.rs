@@ -9,9 +9,11 @@
 //!
 //! Verification contract: `reference` and `soa` keep every reduction in
 //! the same partner order (`j = 0..n`) and are **bitwise identical**;
-//! `simd` splits reductions across [`Lane`]s and re-associates the sum,
-//! so it is guaranteed only **within tolerance** (a few ULP times the row
-//! length). Slab (elementwise) updates are bitwise on all three backends.
+//! `simd` splits reductions across [`WideLane`]s and re-associates the
+//! sum, so it is guaranteed only **within tolerance** (a few ULP times
+//! the row length). Slab (elementwise) updates are bitwise on all three
+//! backends. Lane width follows the mixed-precision ladder
+//! ([`wide_f32`]): `f64` reduces 8-wide, `f32` takes the 16-wide rung.
 //!
 //! * `reference` — the interleaved per-partner loops moved from
 //!   `J2Soa::{evaluate_log, ratio, ratio_grad, accept_move}`.
@@ -20,7 +22,7 @@
 //! * `simd` — explicit lane blocks: elementwise slab updates plus
 //!   lane-split reductions folded with [`Lane::hsum`], scalar tail last.
 
-use crate::lanes::{Lane, LANES};
+use crate::lanes::{wide_f32, WideLane};
 use crate::Backend;
 use qmc_containers::Real;
 
@@ -233,16 +235,10 @@ pub fn j2_accept_grad_row<T: Real>(
             dot_scalar(cd, newd, n)
         }
         Backend::Simd => {
-            let mut j0 = 0;
-            while j0 + LANES <= n {
-                let upd = Lane::load(&od[j0..])
-                    .mul(Lane::load(&oldd[j0..]))
-                    .sub(Lane::load(&cd[j0..]).mul(Lane::load(&newd[j0..])));
-                Lane::load(&g[j0..]).add(upd).store(&mut g[j0..]);
-                j0 += LANES;
-            }
-            for j in j0..n {
-                g[j] += od[j] * oldd[j] - cd[j] * newd[j];
+            if wide_f32::<T>() {
+                accept_grad_slab_lanes_w::<T, 16>(od, oldd, cd, newd, g, n);
+            } else {
+                accept_grad_slab_lanes_w::<T, 8>(od, oldd, cd, newd, g, n);
             }
             dot_lanes(cd, newd, n)
         }
@@ -270,14 +266,26 @@ fn dot_scalar<T: Real>(a: &[T], b: &[T], n: usize) -> T {
 }
 
 // -- lane-split reductions (simd: tolerance contract) -----------------------
+//
+// Each reduction has a width-generic body plus a [`wide_f32`] dispatcher
+// so `f32` rows run the 16-wide rung of the precision ladder.
 
 #[inline(always)]
 fn sum_lanes<T: Real>(x: &[T], n: usize) -> T {
-    let mut acc = Lane::zero();
+    if wide_f32::<T>() {
+        sum_lanes_w::<T, 16>(x, n)
+    } else {
+        sum_lanes_w::<T, 8>(x, n)
+    }
+}
+
+#[inline(always)]
+fn sum_lanes_w<T: Real, const W: usize>(x: &[T], n: usize) -> T {
+    let mut acc = WideLane::<T, W>::zero();
     let mut j0 = 0;
-    while j0 + LANES <= n {
-        acc = acc.add(Lane::load(&x[j0..]));
-        j0 += LANES;
+    while j0 + W <= n {
+        acc = acc.add(WideLane::load(&x[j0..]));
+        j0 += W;
     }
     let mut out = acc.hsum();
     for j in j0..n {
@@ -288,11 +296,20 @@ fn sum_lanes<T: Real>(x: &[T], n: usize) -> T {
 
 #[inline(always)]
 fn dot_lanes<T: Real>(a: &[T], b: &[T], n: usize) -> T {
-    let mut acc = Lane::zero();
+    if wide_f32::<T>() {
+        dot_lanes_w::<T, 16>(a, b, n)
+    } else {
+        dot_lanes_w::<T, 8>(a, b, n)
+    }
+}
+
+#[inline(always)]
+fn dot_lanes_w<T: Real, const W: usize>(a: &[T], b: &[T], n: usize) -> T {
+    let mut acc = WideLane::<T, W>::zero();
     let mut j0 = 0;
-    while j0 + LANES <= n {
-        acc = acc.fma(Lane::load(&a[j0..]), Lane::load(&b[j0..]));
-        j0 += LANES;
+    while j0 + W <= n {
+        acc = acc.fma(WideLane::load(&a[j0..]), WideLane::load(&b[j0..]));
+        j0 += W;
     }
     let mut out = acc.hsum();
     for j in j0..n {
@@ -304,14 +321,51 @@ fn dot_lanes<T: Real>(a: &[T], b: &[T], n: usize) -> T {
 /// Lane slab update `dst[j] += a[j] - b[j]` (elementwise: bitwise safe).
 #[inline(always)]
 fn slab_add_diff_lanes<T: Real>(a: &[T], b: &[T], dst: &mut [T], n: usize) {
+    if wide_f32::<T>() {
+        slab_add_diff_lanes_w::<T, 16>(a, b, dst, n);
+    } else {
+        slab_add_diff_lanes_w::<T, 8>(a, b, dst, n);
+    }
+}
+
+#[inline(always)]
+fn slab_add_diff_lanes_w<T: Real, const W: usize>(a: &[T], b: &[T], dst: &mut [T], n: usize) {
     let mut j0 = 0;
-    while j0 + LANES <= n {
-        let upd = Lane::load(&a[j0..]).sub(Lane::load(&b[j0..]));
-        Lane::load(&dst[j0..]).add(upd).store(&mut dst[j0..]);
-        j0 += LANES;
+    while j0 + W <= n {
+        let upd = WideLane::<T, W>::load(&a[j0..]).sub(WideLane::load(&b[j0..]));
+        WideLane::<T, W>::load(&dst[j0..])
+            .add(upd)
+            .store(&mut dst[j0..]);
+        j0 += W;
     }
     for j in j0..n {
         dst[j] += a[j] - b[j];
+    }
+}
+
+/// Lane slab update of one gradient component on acceptance:
+/// `g[j] += od[j]*oldd[j] - cd[j]*newd[j]` (elementwise: bitwise safe).
+#[inline(always)]
+fn accept_grad_slab_lanes_w<T: Real, const W: usize>(
+    od: &[T],
+    oldd: &[T],
+    cd: &[T],
+    newd: &[T],
+    g: &mut [T],
+    n: usize,
+) {
+    let mut j0 = 0;
+    while j0 + W <= n {
+        let upd = WideLane::<T, W>::load(&od[j0..])
+            .mul(WideLane::load(&oldd[j0..]))
+            .sub(WideLane::<T, W>::load(&cd[j0..]).mul(WideLane::load(&newd[j0..])));
+        WideLane::<T, W>::load(&g[j0..])
+            .add(upd)
+            .store(&mut g[j0..]);
+        j0 += W;
+    }
+    for j in j0..n {
+        g[j] += od[j] * oldd[j] - cd[j] * newd[j];
     }
 }
 

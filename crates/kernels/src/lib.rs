@@ -14,11 +14,17 @@
 //!   (spline-innermost slabs per arXiv:1611.02665): what the paper's
 //!   "Current" code version ran before this crate existed.
 //! * [`Backend::Simd`] — explicit vectorization with portable-SIMD-style
-//!   lane structs ([`lanes::Lane`]): fixed-width register blocks that keep
-//!   all accumulators of a spline block in registers across the 64-node
-//!   stencil instead of streaming every output slab through memory once
-//!   per node. Pure safe Rust — the audited unsafe surface of the
-//!   workspace is unchanged.
+//!   lane structs ([`lanes::WideLane`]): fixed-width register blocks that
+//!   keep all accumulators of a spline block in registers across the
+//!   64-node stencil instead of streaming every output slab through
+//!   memory once per node, with the 64 stencil weights precomputed
+//!   through hoisted `(a, b)` prefactor products (the register
+//!   blocking/tiling scheme of arXiv:1611.02665) and a cache-blocked
+//!   multi-walker vgl variant that amortizes that prefactor work across
+//!   the crowd. Lane width follows the mixed-precision ladder
+//!   ([`lanes::wide_f32`]): `f64` kernels run 8 lanes, `f32` kernels run
+//!   the 16-wide rung. Pure safe Rust — the audited unsafe surface of
+//!   the workspace is unchanged.
 //!
 //! ## Verification contract
 //!

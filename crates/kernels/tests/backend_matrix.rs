@@ -1,13 +1,20 @@
 //! Cross-backend verification matrix over seeded random inputs.
 //!
 //! Pins the contract documented in the crate root: B-spline and distance
-//! kernels are **bitwise identical** across every backend; J2 reductions
-//! are bitwise between `reference` and `soa` and within tolerance for
-//! `simd`, while J2 slab updates are bitwise everywhere. Each family is
-//! exercised at sizes that cover both full lane blocks and scalar tails.
+//! kernels are **bitwise identical** across every backend (at both lane
+//! widths of the precision ladder — 8-wide f64 and 16-wide f32); J2
+//! reductions are bitwise between `reference` and `soa` and within
+//! tolerance for `simd`, while J2 slab updates are bitwise everywhere.
+//! Each family is exercised at sizes that cover both full lane blocks and
+//! scalar tails, plus randomized inputs hugging the stencil edges
+//! (fractional coordinates at grid nodes) and the min-image wrap
+//! boundaries (half-cell distances), where the branch-free arithmetic is
+//! most likely to diverge between a scalar and a vector rewrite.
 
 use qmc_containers::{padded_len, AlignedVec, Real};
-use qmc_kernels::bspline::{evaluate_v, evaluate_vgh, evaluate_vgl, mw_evaluate_vgl};
+use qmc_kernels::bspline::{
+    evaluate_v, evaluate_vgh, evaluate_vgl, mw_evaluate_v, mw_evaluate_vgl,
+};
 use qmc_kernels::distance::distance_row;
 use qmc_kernels::jastrow::{
     j2_accept_grad_row, j2_accept_value_rows, j2_row_sum, j2_row_vg, j2_row_vgl,
@@ -204,6 +211,113 @@ fn bspline_bitwise_f32() {
     bspline_matrix::<f32>(19, 17);
 }
 
+// -- value-only multi-point batch (the NLPP quadrature shape) ---------------
+
+fn mw_v_matrix<T: Real>(ns: usize, nq: usize, seed: u64) {
+    let table = Table::<T>::random([5, 6, 7], ns, seed);
+    let t = table.view();
+    let us = positions::<T>(nq, seed ^ 0x55AA);
+
+    let mut mw_ref = vec![T::ZERO; nq * ns];
+    mw_evaluate_v(Backend::Reference, &t, &us, &mut mw_ref);
+    // Per-point parity: the batch must match a loop of single-point calls.
+    for (q, &u) in us.iter().enumerate() {
+        let mut psi = vec![T::ZERO; ns];
+        evaluate_v(Backend::Reference, &t, u, &mut psi);
+        assert_eq!(
+            &mw_ref[q * ns..(q + 1) * ns],
+            &psi[..],
+            "mw-v point {q} differs from evaluate_v"
+        );
+    }
+    for b in [Backend::Soa, Backend::Simd] {
+        let mut mw = vec![T::ZERO; nq * ns];
+        mw_evaluate_v(b, &t, &us, &mut mw);
+        assert_eq!(mw, mw_ref, "{b}: mw-v not bitwise");
+    }
+}
+
+#[test]
+fn mw_v_bitwise_f64() {
+    mw_v_matrix::<f64>(21, 12, 41);
+}
+
+#[test]
+fn mw_v_bitwise_f32() {
+    mw_v_matrix::<f32>(19, 12, 43);
+}
+
+// -- stencil-edge positions: fractional coordinates hugging grid nodes ------
+
+/// Randomized fractional positions within ±1e-9 of a grid node in every
+/// dimension (including u = 0 and the last interval), where `locate`'s
+/// floor/clamp and the 4x4x4 stencil base are most fragile.
+fn edge_positions<T: Real>(grid: [usize; 3], count: usize, seed: u64) -> Vec<[T; 3]> {
+    let mut rng = Rng::new(seed);
+    (0..count)
+        .map(|_| {
+            let mut u = [T::ZERO; 3];
+            for (d, slot) in u.iter_mut().enumerate() {
+                let cells = grid[d] as f64;
+                let node = (rng.next() * (cells + 1.0)).floor();
+                let eps = (rng.next() - 0.5) * 2e-9;
+                let frac = (node / cells + eps).clamp(0.0, 1.0 - 1e-9);
+                *slot = T::from_f64(frac);
+            }
+            u
+        })
+        .collect()
+}
+
+fn bspline_edge_matrix<T: Real>(ns: usize, seed: u64) {
+    let grid = [5usize, 6, 7];
+    let table = Table::<T>::random(grid, ns, seed);
+    let t = table.view();
+    for &u in &edge_positions::<T>(grid, 24, seed ^ 0xE06E) {
+        let mut psi_ref = vec![T::ZERO; ns];
+        evaluate_v(Backend::Reference, &t, u, &mut psi_ref);
+        assert!(
+            psi_ref.iter().all(|p| p.to_f64().is_finite()),
+            "edge position produced non-finite values"
+        );
+        let mut vgh_ref = (
+            vec![T::ZERO; ns],
+            vec![T::ZERO; 3 * ns],
+            vec![T::ZERO; 6 * ns],
+        );
+        evaluate_vgh(
+            Backend::Reference,
+            &t,
+            u,
+            &mut vgh_ref.0,
+            &mut vgh_ref.1,
+            &mut vgh_ref.2,
+        );
+        for b in [Backend::Soa, Backend::Simd] {
+            let mut psi = vec![T::ZERO; ns];
+            evaluate_v(b, &t, u, &mut psi);
+            assert_eq!(psi, psi_ref, "{b}: v not bitwise at stencil edge {u:?}");
+            let mut vgh = (
+                vec![T::ZERO; ns],
+                vec![T::ZERO; 3 * ns],
+                vec![T::ZERO; 6 * ns],
+            );
+            evaluate_vgh(b, &t, u, &mut vgh.0, &mut vgh.1, &mut vgh.2);
+            assert!(vgh == vgh_ref, "{b}: vgh not bitwise at stencil edge {u:?}");
+        }
+    }
+}
+
+#[test]
+fn bspline_stencil_edges_f64() {
+    bspline_edge_matrix::<f64>(13, 47);
+}
+
+#[test]
+fn bspline_stencil_edges_f32() {
+    bspline_edge_matrix::<f32>(17, 53);
+}
+
 // -- distance family: bitwise across all backends ---------------------------
 
 struct OrthoCell<T: Real> {
@@ -302,6 +416,76 @@ fn distance_bitwise_f32() {
     distance_matrix::<f32>(21, 29);
 }
 
+/// Partner coordinates jittered ±1e-9 around the min-image wrap points
+/// (0, L/2, L): the half-cell boundary is exactly where the branch-free
+/// `floor` correction flips between images, so a scalar/vector divergence
+/// would surface here first.
+fn distance_wrap_matrix<T: Real>(n: usize, seed: u64) {
+    let edges_f = [6.0f64, 7.0, 8.0];
+    let edges = [
+        T::from_f64(edges_f[0]),
+        T::from_f64(edges_f[1]),
+        T::from_f64(edges_f[2]),
+    ];
+    let mut rng = Rng::new(seed);
+    let mut wrap_coords = |l: f64| -> Vec<T> {
+        (0..n)
+            .map(|_| {
+                let anchor = [0.0, 0.5 * l, l][(rng.next() * 3.0) as usize % 3];
+                let eps = (rng.next() - 0.5) * 2e-9;
+                T::from_f64((anchor + eps).clamp(0.0, l))
+            })
+            .collect()
+    };
+    let xs = wrap_coords(edges_f[0]);
+    let ys = wrap_coords(edges_f[1]);
+    let zs = wrap_coords(edges_f[2]);
+    // Probe position itself on a wrap boundary.
+    let pos = [
+        T::from_f64(3.0 - 1e-10),
+        T::from_f64(3.5 + 1e-10),
+        T::from_f64(0.0),
+    ];
+
+    let run = |backend: Backend| {
+        let mut dist = vec![T::ZERO; n];
+        let mut disp = [vec![T::ZERO; n], vec![T::ZERO; n], vec![T::ZERO; n]];
+        let [a, b, c] = &mut disp;
+        let cell = OrthoCell { edges };
+        distance_row(backend, &cell, &xs, &ys, &zs, pos, n, &mut dist, [a, b, c]);
+        (dist, disp)
+    };
+    let (dist_ref, disp_ref) = run(Backend::Reference);
+    for b in [Backend::Soa, Backend::Simd] {
+        let (dist, disp) = run(b);
+        assert_eq!(dist, dist_ref, "{b}: dist not bitwise at wrap boundary");
+        for d in 0..3 {
+            assert_eq!(
+                disp[d], disp_ref[d],
+                "{b}: disp[{d}] not bitwise at wrap boundary"
+            );
+        }
+    }
+    // Every displacement component must land inside the half-open
+    // minimum-image box [-L/2, L/2].
+    for d in 0..3 {
+        let half = 0.5 * edges_f[d] + 1e-6;
+        for j in 0..n {
+            assert!(disp_ref[d][j].to_f64().abs() <= half);
+        }
+    }
+}
+
+#[test]
+fn distance_wrap_boundaries_f64() {
+    distance_wrap_matrix::<f64>(33, 59);
+}
+
+#[test]
+fn distance_wrap_boundaries_f32() {
+    distance_wrap_matrix::<f32>(33, 61);
+}
+
 // -- J2 family: reference == soa bitwise, simd within tolerance -------------
 
 #[test]
@@ -369,6 +553,56 @@ fn jastrow_slab_updates_bitwise_everywhere() {
     assert_eq!(ks[0].1, ks[1].1);
     assert_eq!(ks[0].2, ks[1].2);
     let tol = 1e-12 * n as f64;
+    assert!((ks[0].0 - ks[2].0).abs() < tol);
+    assert!((ks[0].1 - ks[2].1).abs() < tol);
+    assert!((ks[0].2 - ks[2].2).abs() < tol);
+}
+
+/// The f32 rung of the J2 family: same contract as f64 (slabs bitwise on
+/// every backend, reductions bitwise reference==soa and tolerance for
+/// simd), with the tolerance widened to single precision.
+#[test]
+fn jastrow_contract_f32_rung() {
+    let n = 37; // two 16-wide blocks + tail of 5
+    let mut rng = Rng::new(67);
+    let u: Vec<f32> = rng.row(n);
+    let dud: Vec<f32> = rng.row(n);
+    let lap: Vec<f32> = rng.row(n);
+    let dx: Vec<f32> = rng.row(n);
+    let dy: Vec<f32> = rng.row(n);
+    let dz: Vec<f32> = rng.row(n);
+
+    let r = j2_row_vgl(Backend::Reference, &u, &dud, &lap, &dx, &dy, &dz, n);
+    let s = j2_row_vgl(Backend::Soa, &u, &dud, &lap, &dx, &dy, &dz, n);
+    assert_eq!((r.v, r.g, r.l), (s.v, s.g, s.l), "soa f32 not bitwise");
+    let c = j2_row_vgl(Backend::Simd, &u, &dud, &lap, &dx, &dy, &dz, n);
+    let tol = 1e-5 * n as f32;
+    assert!((r.v - c.v).abs() < tol && (r.l - c.l).abs() < tol);
+    for d in 0..3 {
+        assert!((r.g[d] - c.g[d]).abs() < tol);
+    }
+
+    // Accept-path slab updates: elementwise, bitwise on every backend.
+    let od: Vec<f32> = rng.row(n);
+    let oldd: Vec<f32> = rng.row(n);
+    let cd: Vec<f32> = rng.row(n);
+    let newd: Vec<f32> = rng.row(n);
+    let g0: Vec<f32> = rng.row(n);
+    let (cu, ou, cl, ol): (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) =
+        (rng.row(n), rng.row(n), rng.row(n), rng.row(n));
+    let (vat0, lat0): (Vec<f32>, Vec<f32>) = (rng.row(n), rng.row(n));
+    let mut slabs = Vec::new();
+    let mut ks = Vec::new();
+    for b in Backend::ALL {
+        let (mut vat, mut lat, mut g) = (vat0.clone(), lat0.clone(), g0.clone());
+        let (kv, kl) = j2_accept_value_rows(b, &cu, &ou, &cl, &ol, &mut vat, &mut lat, n);
+        let k = j2_accept_grad_row(b, &od, &oldd, &cd, &newd, &mut g, n);
+        slabs.push((vat, lat, g));
+        ks.push((kv, kl, k));
+    }
+    assert_eq!(slabs[0], slabs[1]);
+    assert_eq!(slabs[0], slabs[2]);
+    assert_eq!((ks[0].0, ks[0].1, ks[0].2), (ks[1].0, ks[1].1, ks[1].2));
     assert!((ks[0].0 - ks[2].0).abs() < tol);
     assert!((ks[0].1 - ks[2].1).abs() < tol);
     assert!((ks[0].2 - ks[2].2).abs() < tol);

@@ -364,6 +364,87 @@ impl<T: Real> DistTableAASoA<T> {
         );
     }
 
+    /// Crowd-batched [`Self::prepare_move`]: refreshes row `iat` of every
+    /// walker's table back-to-back under **one** timer scope. Per walker
+    /// this runs the identical `compute_row` call, so results are bitwise
+    /// identical to the per-walker path — what changes is the schedule:
+    /// the tiny row kernels of a crowd are no longer interleaved with each
+    /// walker's (much larger) wavefunction working set, which is where the
+    /// crowd-vs-per-walker DistTable-AA regression came from.
+    pub fn mw_prepare(tables: &mut [&mut Self], rsoas: &[&VectorSoaContainer<T, 3>], iat: usize) {
+        assert_eq!(tables.len(), rsoas.len());
+        let nw = tables.len();
+        let total: u64 = tables.iter().map(|t| t.n as u64).sum();
+        time_kernel(Kernel::DistTableAA, || {
+            for w in 0..nw {
+                let t = &mut *tables[w];
+                let backend = t.backend;
+                let n = t.n;
+                let pos = rsoas[w].get(iat);
+                let [a, b, c] = &mut t.disp;
+                let d = t.dist.row_mut(iat);
+                compute_row(
+                    backend,
+                    &t.lattice,
+                    rsoas[w],
+                    pos,
+                    n,
+                    d,
+                    [a.row_mut(iat), b.row_mut(iat), c.row_mut(iat)],
+                );
+                d[iat] = T::from_f64(f64::MAX);
+            }
+        });
+        add_flops_bytes(
+            Kernel::DistTableAA,
+            18 * total,
+            7 * std::mem::size_of::<T>() as u64 * total,
+        );
+    }
+
+    /// Crowd-batched [`Self::move_candidate`]: computes every walker's
+    /// candidate row for its own proposed position under **one** timer
+    /// scope, each into that walker's own `temp` row. Bitwise identical
+    /// per walker to the scalar call.
+    pub fn mw_move_candidates(
+        tables: &mut [&mut Self],
+        rsoas: &[&VectorSoaContainer<T, 3>],
+        iat: usize,
+        newpos: &[Pos<T>],
+    ) {
+        assert_eq!(tables.len(), rsoas.len());
+        assert_eq!(tables.len(), newpos.len());
+        let nw = tables.len();
+        let total: u64 = tables.iter().map(|t| t.n as u64).sum();
+        time_kernel(Kernel::DistTableAA, || {
+            for w in 0..nw {
+                let t = &mut *tables[w];
+                let n = t.n;
+                let d = &mut t.temp_dist.as_mut_slice()[..n];
+                let [a, b, c] = &mut t.temp_disp;
+                compute_row(
+                    t.backend,
+                    &t.lattice,
+                    rsoas[w],
+                    newpos[w],
+                    n,
+                    d,
+                    [
+                        &mut a.as_mut_slice()[..n],
+                        &mut b.as_mut_slice()[..n],
+                        &mut c.as_mut_slice()[..n],
+                    ],
+                );
+                d[iat] = T::from_f64(f64::MAX);
+            }
+        });
+        add_flops_bytes(
+            Kernel::DistTableAA,
+            18 * total,
+            7 * std::mem::size_of::<T>() as u64 * total,
+        );
+    }
+
     /// Forward update (Fig. 6(b)): the accepted candidate row is copied into
     /// the aligned row storage; columns are *not* touched.
     pub fn accept(&mut self, iat: usize) {
@@ -800,6 +881,41 @@ impl<T: Real> DistTableABSoA<T> {
             Kernel::DistTableAB,
             18 * self.nion as u64,
             7 * std::mem::size_of::<T>() as u64 * self.nion as u64,
+        );
+    }
+
+    /// Crowd-batched [`Self::move_candidate`]: every walker's candidate
+    /// electron-ion row computed back-to-back under **one** timer scope.
+    /// Bitwise identical per walker to the scalar call.
+    pub fn mw_move_candidates(tables: &mut [&mut Self], newpos: &[Pos<T>]) {
+        assert_eq!(tables.len(), newpos.len());
+        let nw = tables.len();
+        let total: u64 = tables.iter().map(|t| t.nion as u64).sum();
+        time_kernel(Kernel::DistTableAB, || {
+            for w in 0..nw {
+                let t = &mut *tables[w];
+                let nion = t.nion;
+                let d = &mut t.temp_dist.as_mut_slice()[..nion];
+                let [a, b, c] = &mut t.temp_disp;
+                compute_row(
+                    t.backend,
+                    &t.lattice,
+                    &t.ions_soa,
+                    newpos[w],
+                    nion,
+                    d,
+                    [
+                        &mut a.as_mut_slice()[..nion],
+                        &mut b.as_mut_slice()[..nion],
+                        &mut c.as_mut_slice()[..nion],
+                    ],
+                );
+            }
+        });
+        add_flops_bytes(
+            Kernel::DistTableAB,
+            18 * total,
+            7 * std::mem::size_of::<T>() as u64 * total,
         );
     }
 

@@ -303,6 +303,94 @@ impl<T: Real> ParticleSet<T> {
         self.active = Some((iat, newpos));
     }
 
+    /// Crowd-batched [`Self::prepare_move`] across walker-aligned particle
+    /// sets: for each table slot whose every walker holds an SoA AA table,
+    /// all walkers' row refreshes run back-to-back through
+    /// [`DistTableAASoA::mw_prepare`] (one timer scope, same per-walker
+    /// arithmetic — bitwise identical to the scalar loop); mixed slots fall
+    /// back to the per-walker call.
+    pub fn mw_prepare_moves(psets: &mut [&mut Self], iat: usize) {
+        let nt = psets.first().map_or(0, |p| p.tables.len());
+        for ti in 0..nt {
+            if psets
+                .iter()
+                .all(|p| matches!(p.tables[ti], DistTable::AaSoa(_)))
+            {
+                let mut tabs: Vec<&mut DistTableAASoA<T>> = Vec::with_capacity(psets.len());
+                let mut rsoas: Vec<&VectorSoaContainer<T, 3>> = Vec::with_capacity(psets.len());
+                for p in psets.iter_mut() {
+                    let Self { rsoa, tables, .. } = &mut **p;
+                    if let DistTable::AaSoa(t) = &mut tables[ti] {
+                        tabs.push(t);
+                        rsoas.push(rsoa);
+                    }
+                }
+                DistTableAASoA::mw_prepare(&mut tabs, &rsoas, iat);
+            } else {
+                for p in psets.iter_mut() {
+                    let Self { rsoa, tables, .. } = &mut **p;
+                    if let DistTable::AaSoa(t) = &mut tables[ti] {
+                        t.prepare_move(rsoa, iat);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Crowd-batched [`Self::make_move`]: `newpos[w]` is walker `w`'s
+    /// proposed position for particle `iat`. Table slots that are uniformly
+    /// SoA (AA or AB) across the crowd compute all walkers' candidate rows
+    /// under one timer scope via the `mw_move_candidates` batched kernels;
+    /// mixed slots fall back per walker. Each set's active move is recorded
+    /// exactly as the scalar call does.
+    pub fn mw_make_moves(psets: &mut [&mut Self], iat: usize, newpos: &[Pos<T>]) {
+        assert_eq!(psets.len(), newpos.len());
+        let nt = psets.first().map_or(0, |p| p.tables.len());
+        for ti in 0..nt {
+            if psets
+                .iter()
+                .all(|p| matches!(p.tables[ti], DistTable::AaSoa(_)))
+            {
+                let mut tabs: Vec<&mut DistTableAASoA<T>> = Vec::with_capacity(psets.len());
+                let mut rsoas: Vec<&VectorSoaContainer<T, 3>> = Vec::with_capacity(psets.len());
+                for p in psets.iter_mut() {
+                    let Self { rsoa, tables, .. } = &mut **p;
+                    if let DistTable::AaSoa(t) = &mut tables[ti] {
+                        tabs.push(t);
+                        rsoas.push(rsoa);
+                    }
+                }
+                DistTableAASoA::mw_move_candidates(&mut tabs, &rsoas, iat, newpos);
+            } else if psets
+                .iter()
+                .all(|p| matches!(p.tables[ti], DistTable::AbSoa(_)))
+            {
+                let mut tabs: Vec<&mut DistTableABSoA<T>> = Vec::with_capacity(psets.len());
+                for p in psets.iter_mut() {
+                    if let DistTable::AbSoa(t) = &mut p.tables[ti] {
+                        tabs.push(t);
+                    }
+                }
+                DistTableABSoA::mw_move_candidates(&mut tabs, newpos);
+            } else {
+                for (p, &np) in psets.iter_mut().zip(newpos) {
+                    let Self {
+                        r, rsoa, tables, ..
+                    } = &mut **p;
+                    match &mut tables[ti] {
+                        DistTable::AaRef(t) => t.move_candidate(r, iat, np),
+                        DistTable::AaSoa(t) => t.move_candidate(rsoa, iat, np),
+                        DistTable::AbRef(t) => t.move_candidate(iat, np),
+                        DistTable::AbSoa(t) => t.move_candidate(iat, np),
+                    }
+                }
+            }
+        }
+        for (p, &np) in psets.iter_mut().zip(newpos) {
+            p.active = Some((iat, np));
+        }
+    }
+
     /// Commits the active move: forward-updates every table and writes the
     /// new position into both `R` and `Rsoa` (6 scalars).
     pub fn accept_move(&mut self, iat: usize) {

@@ -1,0 +1,47 @@
+// fixture-path: crates/kernels/src/ladder_fixture.rs
+//! Width-ladder dispatch miniature of the SIMD kernel library: an 8-wide
+//! f64 rung and a 16-wide f32 rung hang off one width dispatcher, and the
+//! multi-point value-only batch entry (the `mw_evaluate_v` shape) loops
+//! the dispatcher. Every one of these — dispatcher, both monomorphized
+//! rungs, and the batch wrapper — lives in a kernel file and is therefore
+//! a hot root of its own; an allocation reached from the 16-wide rung
+//! must fire at each kernel call site along the chain.
+
+/// Miniature of `wide_f32`: picks the 16-wide rung.
+fn is_wide() -> bool {
+    true
+}
+
+/// Width dispatcher: both rungs are hot roots in a kernel file.
+pub fn value_row(x: &mut [f64]) -> f64 {
+    if is_wide() {
+        row_w16(x) //~ hot-path-call
+    } else {
+        row_w8(x)
+    }
+}
+
+/// 8-wide rung: tight loop, no allocation — must stay silent.
+fn row_w8(x: &mut [f64]) -> f64 {
+    let mut acc = 0.0;
+    for v in x.iter_mut() {
+        *v *= 0.5;
+        acc += *v;
+    }
+    acc
+}
+
+/// 16-wide rung: stages through a non-kernel helper that allocates; as a
+/// hot root of its own, its call site fires too.
+fn row_w16(x: &mut [f64]) -> f64 {
+    let pad = quad_scratch(x.len()); //~ hot-path-call
+    pad + x.iter().sum::<f64>()
+}
+
+/// Multi-point value-only batch entry (the NLPP quadrature shape): a
+/// kernel root that reaches the allocation through the dispatcher, and —
+/// being a batched `mw_*` kernel entry — one that must also carry a
+/// `Kernel::*` timer (or a justified allow) like the real entry points do.
+pub fn mw_value_rows(xs: &mut [f64]) -> f64 { //~ timer-coverage
+    value_row(xs) //~ hot-path-call
+}

@@ -1,0 +1,11 @@
+// fixture-path: crates/hamiltonian/src/quad_fixture.rs
+//! Non-kernel quadrature helper: the per-file hot-path rule does not
+//! apply here, but the allocation is reachable from the kernel library's
+//! width ladder and must be reported back at the kernel call sites.
+
+/// Allocates a staging buffer per call — legal here, hot through the
+/// width-ladder dispatch.
+pub fn quad_scratch(n: usize) -> f64 {
+    let scratch: Vec<f64> = (0..n).map(|_| 0.5).collect();
+    scratch.iter().sum()
+}

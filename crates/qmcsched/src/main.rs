@@ -39,6 +39,16 @@ fn main() {
     let results = qmcsched::explore_all(&cfg);
     println!("{}", qmcsched::render_json(&results));
     let mut ok = true;
+    let simd_case = qmcsched::explore_simd_tolerance(&cfg);
+    let simd_ok = simd_case.within_tolerance();
+    ok &= simd_ok;
+    eprintln!(
+        "qmcsched: vmc-simd-tolerance: |{:+.6} - {:+.6}| <= {:.2e}: {}",
+        simd_case.reference_energy,
+        simd_case.simd_energy,
+        simd_case.tolerance,
+        if simd_ok { "OK" } else { "BROKEN" }
+    );
     for r in &results {
         let parity = r.parity();
         ok &= parity;

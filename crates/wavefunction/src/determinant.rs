@@ -62,6 +62,9 @@ pub struct DiracDeterminant<T: Real> {
     psi_g: AlignedVec<T>,
     psi_l: AlignedVec<T>,
     inv_row: AlignedVec<T>,
+    /// Scratch for batched value-only quadrature ratios (NLPP fast path);
+    /// grown once to `nq * ns`, then reused allocation-free.
+    mw_psi_v: Vec<T>,
     cur_ratio: f64,
     cur_has_vgl: bool,
     log_value: f64,
@@ -99,6 +102,7 @@ impl<T: Real> DiracDeterminant<T> {
             psi_g: AlignedVec::zeros(3 * ns),
             psi_l: AlignedVec::zeros(ns),
             inv_row: AlignedVec::zeros(nel),
+            mw_psi_v: Vec::new(),
             cur_ratio: 1.0,
             cur_has_vgl: false,
             log_value: 0.0,
@@ -349,6 +353,45 @@ impl<T: Real> WaveFunctionComponent<T> for DiracDeterminant<T> {
         self.cur_ratio = r.to_f64();
         self.cur_has_vgl = false;
         self.cur_ratio
+    }
+
+    /// NLPP quadrature fast path: one batched value-only SPO dispatch
+    /// covers every quadrature point and the inverse row is extracted
+    /// once instead of once per point. Each per-point factor is the same
+    /// `inv_row . psi_v` contraction [`Self::ratio`] computes over
+    /// bitwise-identical orbital values, so the multiplied-in ratios are
+    /// bitwise identical to the per-point `make_move` path.
+    fn ratios_value_only(
+        &mut self,
+        _p: &ParticleSet<T>,
+        iat: usize,
+        positions: &[Pos<T>],
+        ratios: &mut [f64],
+    ) -> bool {
+        if !self.owns(iat) {
+            return true; // factor of 1.0 at every quadrature point
+        }
+        let local = iat - self.first;
+        let ns = self.spo.size();
+        let nq = positions.len();
+        debug_assert!(ratios.len() >= nq);
+        if self.mw_psi_v.len() < nq * ns {
+            self.mw_psi_v.resize(nq * ns, T::ZERO);
+        }
+        self.spo.mw_evaluate_v(positions, &mut self.mw_psi_v);
+        time_kernel(Kernel::DetRatio, || {
+            self.engine_inv_row(local);
+            for (q, r) in ratios[..nq].iter_mut().enumerate() {
+                let row = &self.mw_psi_v[q * ns..q * ns + self.nel];
+                *r *= det_ratio_row_from_slice(self.inv_row.as_slice(), row).to_f64();
+            }
+        });
+        add_flops_bytes(
+            Kernel::DetRatio,
+            (2 * self.nel * nq) as u64,
+            ((nq + 1) * self.nel * std::mem::size_of::<T>()) as u64,
+        );
+        true
     }
 
     fn ratio_grad(&mut self, p: &ParticleSet<T>, iat: usize, grad: &mut Pos<f64>) -> f64 {

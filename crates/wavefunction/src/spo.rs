@@ -52,6 +52,22 @@ pub trait SpoSet<T: Real>: Send + Sync {
             );
         }
     }
+
+    /// Batched value-only evaluation: point `q` owns `psi[q*ns..]`.
+    /// Per-point results are **bitwise identical** to [`Self::evaluate_v`]
+    /// at the same position on every implementation — this is the NLPP
+    /// quadrature fast path, where one electron's rotated quadrature
+    /// positions share a single dispatch instead of one call (and one
+    /// timer scope) per point.
+    // qmclint: allow(timer-coverage) — delegates to evaluate_v, which is
+    // already timed under Kernel::BsplineV; a wrapper timer here would
+    // double-count.
+    fn mw_evaluate_v(&mut self, pos: &[Pos<T>], psi: &mut [T]) {
+        let ns = self.size();
+        for (q, &p) in pos.iter().enumerate() {
+            self.evaluate_v(p, &mut psi[q * ns..(q + 1) * ns]);
+        }
+    }
 }
 
 /// Evaluation strategy for [`BsplineSpo`].
@@ -240,6 +256,32 @@ impl<T: Real> SpoSet<T> for BsplineSpo<T> {
             Kernel::BsplineMwVGL,
             (64 * 14 * ns * nw) as u64,
             ((64 * 5 + 5) * ns * nw * std::mem::size_of::<T>()) as u64,
+        );
+    }
+
+    /// Fused batched value-only path: one backend dispatch and one timer
+    /// scope for the whole quadrature batch. Per-point results are bitwise
+    /// identical to the scalar `evaluate_v` (same kernel, same backend).
+    fn mw_evaluate_v(&mut self, pos: &[Pos<T>], psi: &mut [T]) {
+        let ns = self.size();
+        let nq = pos.len();
+        assert!(psi.len() >= nq * ns);
+        let mut us = std::mem::take(&mut self.scratch_frac);
+        if us.len() < nq {
+            us.resize(nq, [T::ZERO; 3]);
+        }
+        for (u, &p) in us[..nq].iter_mut().zip(pos.iter()) {
+            *u = self.to_frac(p);
+        }
+        time_kernel(Kernel::BsplineV, || {
+            self.table
+                .mw_evaluate_v_backend(self.backend, &us[..nq], psi);
+        });
+        self.scratch_frac = us;
+        add_flops_bytes(
+            Kernel::BsplineV,
+            (128 * ns * nq) as u64,
+            (64 * ns * nq * std::mem::size_of::<T>()) as u64,
         );
     }
 }

@@ -34,6 +34,28 @@ pub trait WaveFunctionComponent<T: Real>: Send {
     /// (`ParticleSet::make_move` must have been called).
     fn ratio(&mut self, p: &ParticleSet<T>, iat: usize) -> f64;
 
+    /// Batched value-only ratios for the NLPP quadrature loop: multiplies
+    /// `psi_c(.., r_q, ..) / psi_c(R)` for particle `iat` moved to each
+    /// `positions[q]` into `ratios[q]`, *without* candidate distance rows
+    /// (no `ParticleSet::make_move`). Returns `true` when handled.
+    ///
+    /// The default returns `false` untouched, telling the caller this
+    /// component needs the per-point `make_move` + [`Self::ratio`]
+    /// fallback (components whose ratio reads distance tables, e.g. the
+    /// Jastrow factors). Implementations must produce each per-point
+    /// factor **bitwise identical** to [`Self::ratio`] at the same
+    /// position — the determinant override batches the orbital
+    /// evaluations but keeps the same per-point contraction.
+    fn ratios_value_only(
+        &mut self,
+        _p: &ParticleSet<T>,
+        _iat: usize,
+        _positions: &[Pos<T>],
+        _ratios: &mut [f64],
+    ) -> bool {
+        false
+    }
+
     /// Like [`Self::ratio`], additionally accumulating the gradient of
     /// `log psi_c` at the *proposed* position into `grad`.
     fn ratio_grad(&mut self, p: &ParticleSet<T>, iat: usize, grad: &mut Pos<f64>) -> f64;

@@ -80,6 +80,56 @@ impl<T: Real> TrialWaveFunction<T> {
         ratio
     }
 
+    /// Value-only ratios `Psi_T(.., r_q, ..) / Psi_T(R)` for particle
+    /// `iat` moved to each of `positions` — the NLPP quadrature inner
+    /// loop. Components with a batched value-only path (determinants)
+    /// evaluate every point in one dispatch; the rest fall back to one
+    /// `make_move` + [`WaveFunctionComponent::ratio`] + restore pass per
+    /// point. `p` comes back with no active move.
+    ///
+    /// Products are bitwise identical to the per-point
+    /// [`Self::calc_ratio`] reference loop: each per-point factor is
+    /// bitwise identical by the `ratios_value_only` contract, and the
+    /// engines compose determinants before Jastrows, so the f64 factor
+    /// order is preserved (two-factor products commute bitwise anyway).
+    pub fn calc_ratios_v(
+        &mut self,
+        p: &mut ParticleSet<T>,
+        iat: usize,
+        positions: &[Pos<T>],
+        ratios: &mut [f64],
+    ) {
+        let nq = positions.len();
+        assert!(ratios.len() >= nq);
+        debug_assert!(self.components.len() <= 64);
+        for r in &mut ratios[..nq] {
+            *r = 1.0;
+        }
+        // Deferred components tracked by bitmask: no per-call allocation.
+        let mut deferred: u64 = 0;
+        for (ci, c) in self.components.iter_mut().enumerate() {
+            if !c.ratios_value_only(p, iat, positions, &mut ratios[..nq]) {
+                deferred |= 1 << ci;
+            }
+        }
+        if deferred != 0 {
+            for (q, &pos) in positions.iter().enumerate() {
+                p.make_move(iat, pos);
+                for (ci, c) in self.components.iter_mut().enumerate() {
+                    if deferred & (1 << ci) != 0 {
+                        ratios[q] *= c.ratio(p, iat);
+                    }
+                }
+                for (ci, c) in self.components.iter_mut().enumerate() {
+                    if deferred & (1 << ci) != 0 {
+                        c.restore(iat);
+                    }
+                }
+                p.reject_move(iat);
+            }
+        }
+    }
+
     /// Ratio together with the gradient of `log Psi_T` at the proposed
     /// position (for the drift term of the importance-sampled move).
     pub fn calc_ratio_grad(&mut self, p: &ParticleSet<T>, iat: usize) -> (f64, Pos<f64>) {
