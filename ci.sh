@@ -10,18 +10,32 @@ cargo fmt --all -- --check
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== qmclint (lexical + call-graph + mutation-effect invariants, JSON gate) =="
+echo "== qmclint (lexical + call-graph + effect + concurrency invariants, JSON gate) =="
 cargo run --release -q -p qmclint -- --root . --json > QMCLINT.json
 # Belt and braces: the exit code above already gates, but also refuse a
 # report with any nonzero per-rule count, so a new diagnostic class can
 # never slip through at nonzero volume. The by_rule object now includes
-# the v3 effect rules (serialization-purity, rng-discipline,
-# state-coverage), so the same grep sweeps them to zero.
-grep -q '"schema":"qmclint/2"' QMCLINT.json
+# the v3 effect rules and the v4 concurrency rules
+# (shared-mutable-capture, parallel-reduction-order, rng-capture,
+# schedule-coverage), so the same grep sweeps them to zero.
+grep -q '"schema":"qmclint/3"' QMCLINT.json
 grep -q '"diagnostics_total":0' QMCLINT.json
 ! grep -o '"by_rule":{[^}]*}' QMCLINT.json | grep -q ':[1-9]'
-# Structural check: the report must parse and carry the effects block
-# (json_check accepts qmclint/1 and qmclint/2, rejects anything else).
+# The v4 pass must actually have run: the par inventory has to show a
+# live spawn-site census (an all-zero inventory would mean the analyzer
+# silently skipped the parallel model), and each concurrency rule must
+# be present in by_rule at exactly zero.
+grep -qE '"par":\{"spawn_sites":[1-9][0-9]*' QMCLINT.json
+grep -qE '"parallel_fns":[1-9][0-9]*' QMCLINT.json
+grep -qE '"det_reduce_calls":[1-9][0-9]*' QMCLINT.json
+for rule in shared-mutable-capture parallel-reduction-order rng-capture schedule-coverage; do
+    grep -q "\"${rule}\":0" QMCLINT.json || {
+        echo "ci: concurrency rule '${rule}' missing from by_rule at zero" >&2
+        exit 1
+    }
+done
+# Structural check: the report must parse and carry the effects and par
+# blocks (json_check accepts qmclint/1..3, rejects anything else).
 cargo run --release -q -p miniqmc --bin json_check < QMCLINT.json
 rm -f QMCLINT.json
 
@@ -120,17 +134,17 @@ fi
 grep -q "cannot resume" "$CK_DIR/err.log"
 ! grep -q "panicked" "$CK_DIR/err.log"
 
-echo "== bench snapshot (BENCH_pr9.json) =="
+echo "== bench snapshot (BENCH_pr10.json) =="
 cargo run --release -q -p qmc-bench --bin bench_snapshot -- \
-    --threads 2 --walkers 4 --steps 4 --reps 2 > BENCH_pr9.json
-grep -q '"schema":"qmc-bench-snapshot/2"' BENCH_pr9.json
+    --threads 2 --walkers 4 --steps 4 --reps 2 > BENCH_pr10.json
+grep -q '"schema":"qmc-bench-snapshot/2"' BENCH_pr10.json
 # The crowd run must exercise the fused multi-walker spline kernel: a
 # zero `Bspline-mw-vgl` column means the batched path silently fell back.
 python3 - <<'EOF'
 import json
-doc = json.load(open("BENCH_pr9.json"))
+doc = json.load(open("BENCH_pr10.json"))
 crowd = [r for r in doc["runs"] if r["batching"] == "crowd"]
-assert crowd, "no crowd-batched run in BENCH_pr9.json"
+assert crowd, "no crowd-batched run in BENCH_pr10.json"
 mw = crowd[0]["kernels"]["Bspline-mw-vgl"]
 assert mw > 0.0, f"Bspline-mw-vgl is {mw}: the crowd run did not drive the batched kernel"
 print(f"ci: crowd Bspline-mw-vgl = {mw:.4f}s (nonzero, batched path live)")
@@ -165,7 +179,7 @@ EOF
 rm -f CROWD_GATE.json
 
 echo "== bench series gate (vs previous PR snapshot) =="
-cargo run --release -q -p qmc-bench --bin bench_compare -- BENCH_pr8.json BENCH_pr9.json
+cargo run --release -q -p qmc-bench --bin bench_compare -- BENCH_pr9.json BENCH_pr10.json
 
 echo "== bench smoke (crowd kernels) =="
 cargo bench -p qmc-bench --bench bench_crowd -- --test

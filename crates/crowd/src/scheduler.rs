@@ -3,14 +3,15 @@
 //! Mirrors the per-walker crew of `qmc_drivers::parallel`: one worker
 //! thread per crowd, contiguous walker chunks per thread, and walkers
 //! streamed through each crowd in crowd-sized lock-step blocks. The
-//! chunking and the walker-order energy reduction are identical to the
-//! per-walker path, so the branch controller sees bit-identical input for
-//! any thread count and crowd size.
+//! chunking and the deterministic walker-order energy reduction
+//! (`qmc_drivers::det_sum_by`) are identical to the per-walker path, so
+//! the branch controller sees bit-identical input for any thread count
+//! and crowd size.
 
 use crate::crowd::Crowd;
 use parking_lot::Mutex;
 use qmc_containers::Real;
-use qmc_drivers::{chunks_mut, BranchController, QmcEngine, Walker};
+use qmc_drivers::{chunks_mut, det_sum_by, BranchController, QmcEngine, Walker};
 use qmc_instrument::{drain_thread_profile, span, span_lazy, ProfileSet};
 
 /// Builds crowds for a thread crew and runs lock-step DMC generations
@@ -76,10 +77,12 @@ impl CrowdScheduler {
     /// chunk through its crowd in lock-step blocks (sweep, then measure /
     /// reweight / store in slot order). Returns
     /// `(sum w*E, sum w, accepted, attempted)` with the energy sums
-    /// reduced sequentially in walker order after the parallel section —
-    /// the same reduction as `qmc_drivers::parallel_generation`, so the
-    /// result is bit-identical to the per-walker drive. Kernel time drains
-    /// into per-crowd groups of `profile` (group index = crowd index).
+    /// reduced after the parallel section through
+    /// [`qmc_drivers::det_sum_by`] over walker order — the same
+    /// fixed-shape tree as `qmc_drivers::parallel_generation`, so the
+    /// result is bit-identical to the per-walker drive for any thread
+    /// count, crowd size or task schedule. Kernel time drains into
+    /// per-crowd groups of `profile` (group index = crowd index).
     pub fn generation<T: Real>(
         crowds: &mut [Crowd<T>],
         walkers: &mut [Walker<T>],
@@ -137,11 +140,8 @@ impl CrowdScheduler {
             }
         });
         let (acc, att) = counts.into_inner();
-        let (mut esum, mut wsum): (f64, f64) = (0.0, 0.0);
-        for w in walkers.iter() {
-            esum += w.weight * w.e_local;
-            wsum += w.weight;
-        }
+        let esum = det_sum_by(walkers.len(), |i| walkers[i].weight * walkers[i].e_local);
+        let wsum = det_sum_by(walkers.len(), |i| walkers[i].weight);
         (esum, wsum, acc, att)
     }
 }

@@ -17,6 +17,7 @@ use crate::branch::BranchController;
 use crate::checkpoint::RunControl;
 use crate::engine::QmcEngine;
 use crate::estimator::ScalarEstimator;
+use crate::reduce;
 use crate::walker::Walker;
 use qmc_containers::Real;
 
@@ -204,8 +205,6 @@ pub fn run_dmc_controlled<T: Real>(
 
     while state.step < params.steps {
         let step = state.step;
-        let mut esum = 0.0;
-        let mut wsum = 0.0;
         let (mut acc, mut att) = (0usize, 0usize);
         for w in walkers.iter_mut() {
             engine.load_walker(w);
@@ -222,9 +221,12 @@ pub fn run_dmc_controlled<T: Real>(
             w.age = if stats.accepted == 0 { w.age + 1 } else { 0 };
             w.e_local = el;
             engine.store_walker(w);
-            esum += w.weight * el;
-            wsum += w.weight;
         }
+        // Deterministic generation merge from the stored per-walker fields
+        // — the same tree shape as every parallel driver variant, so the
+        // branch controller sees bit-identical input across all of them.
+        let esum = reduce::det_sum_by(walkers.len(), |i| walkers[i].weight * walkers[i].e_local);
+        let wsum = reduce::det_sum_by(walkers.len(), |i| walkers[i].weight);
         let e_avg = state.finish_generation(walkers, params.warmup, esum, wsum, acc, att);
         control.after_dmc_generation(&state, walkers, params, e_avg, wsum);
     }

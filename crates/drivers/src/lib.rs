@@ -12,6 +12,8 @@
 //! * [`ranks`] — simulated multi-rank execution with allreduce and walker
 //!   exchange, for the strong-scaling study (Fig. 1).
 //! * [`estimator`] / [`branch`] — statistics and population control.
+//! * [`reduce`] — the fixed-shape deterministic reduction ([`det_sum`])
+//!   every driver variant merges per-walker quantities through.
 //! * [`serialize`] — exact-state walker wire codec (plus explicit
 //!   [`serialize::reseed_for_migration`] re-keying for rank migration).
 //! * [`checkpoint`] — the `qmc-checkpoint/1` bitwise checkpoint/restart
@@ -35,6 +37,7 @@ pub mod estimator;
 pub mod fingerprint;
 pub mod parallel;
 pub mod ranks;
+pub mod reduce;
 pub mod serialize;
 pub mod vmc;
 pub mod walker;
@@ -54,6 +57,7 @@ pub use parallel::{
     run_vmc_parallel,
 };
 pub use ranks::{run_multi_rank, MultiRankParams, MultiRankResult};
+pub use reduce::{det_sum, det_sum_by, det_weighted_mean};
 pub use serialize::{
     deserialize_walker, reseed_for_migration, serialize_walker, try_deserialize_walker, WireError,
 };

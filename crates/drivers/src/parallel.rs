@@ -19,6 +19,7 @@ use crate::checkpoint::RunControl;
 use crate::dmc::{DmcParams, DmcResult, DmcState};
 use crate::engine::QmcEngine;
 use crate::estimator::ScalarEstimator;
+use crate::reduce;
 use crate::walker::Walker;
 use parking_lot::Mutex;
 use qmc_containers::Real;
@@ -50,10 +51,11 @@ pub fn chunks_mut<I>(items: &mut [I], parts: usize) -> Vec<&mut [I]> {
 /// merges each worker's kernel profile into its group of `profile` (group
 /// index = thread index).
 ///
-/// The energy/weight sums are reduced *sequentially in walker order* from
-/// the stored per-walker fields after the parallel section, so the result
-/// is bit-identical for any thread count (only the order-independent
-/// integer counters are merged under the lock).
+/// The energy/weight sums are reduced from the stored per-walker fields
+/// after the parallel section through [`crate::reduce::det_sum_by`] — a
+/// fixed-shape pairwise tree over walker order — so the result is
+/// bit-identical for any thread count, chunking or task schedule (only
+/// the order-independent integer counters are merged under the lock).
 pub fn parallel_generation<T: Real>(
     engines: &mut [QmcEngine<T>],
     walkers: &mut [Walker<T>],
@@ -100,11 +102,8 @@ pub fn parallel_generation<T: Real>(
         }
     });
     let (acc, att) = counts.into_inner();
-    let (mut esum, mut wsum) = (0.0f64, 0.0f64);
-    for w in walkers.iter() {
-        esum += w.weight * w.e_local;
-        wsum += w.weight;
-    }
+    let esum = reduce::det_sum_by(walkers.len(), |i| walkers[i].weight * walkers[i].e_local);
+    let wsum = reduce::det_sum_by(walkers.len(), |i| walkers[i].weight);
     (esum, wsum, acc, att)
 }
 

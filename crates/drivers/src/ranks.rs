@@ -5,7 +5,9 @@
 //! Per generation, ranks synchronize at a barrier, allreduce the weighted
 //! energy and population (mirroring the paper's `allreduce` for `E_L`),
 //! and rebalance walkers through a shared exchange pool (the `send/recv of
-//! serialized Walker objects` in §8). The paper's observation — that the
+//! serialized Walker objects` in §8). The allreduce gathers rank-indexed
+//! partials and reduces them with [`crate::reduce::det_sum_by`], so rank
+//! arrival order cannot perturb the trial-energy bits. The paper's observation — that the
 //! optimizations leave communication untouched and near-ideal scaling
 //! intact — is what this module lets the harness demonstrate.
 
@@ -60,8 +62,6 @@ impl MultiRankResult {
 }
 
 struct SharedGen {
-    esum: f64,
-    wsum: f64,
     pops: usize,
     e_trial: f64,
     pool_moved: u64,
@@ -83,13 +83,15 @@ where
     let per_rank = (params.total_population / ranks).max(1);
     let barrier = Barrier::new(ranks);
     let shared = Mutex::new(SharedGen {
-        esum: 0.0,
-        wsum: 0.0,
         pops: 0,
         e_trial: 0.0,
         pool_moved: 0,
         bytes_moved: 0,
     });
+    // Rank-indexed `(sum w*E, sum w)` partials for the allreduce: each
+    // rank writes its own slot, so barrier arrival order cannot perturb
+    // the deterministic rank-order reduction rank 0 performs.
+    let slots: Mutex<Vec<(f64, f64)>> = Mutex::new(vec![(0.0, 0.0); ranks]);
     // The exchange pool holds *serialized* walker messages, exactly what
     // an MPI implementation would send/recv (§8).
     let pool: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
@@ -102,6 +104,7 @@ where
             let build_engine = &build_engine;
             let barrier = &barrier;
             let shared = &shared;
+            let slots = &slots;
             let pool = &pool;
             let energies = &energies;
             let samples = &samples;
@@ -125,8 +128,9 @@ where
                 );
 
                 for step in 0..params.steps {
-                    // Drift-diffusion + measurement for the local block.
-                    let (mut esum, mut wsum) = (0.0, 0.0);
+                    // Drift-diffusion + measurement for the local block,
+                    // then the deterministic walker-order partial for this
+                    // rank's contribution to the allreduce.
                     for w in &mut walkers {
                         engine.load_walker(w);
                         engine.sweep(params.tau, &mut w.rng);
@@ -134,31 +138,39 @@ where
                         w.weight *= branch.weight_factor(w.e_local, el);
                         w.e_local = el;
                         engine.store_walker(w);
-                        esum += w.weight * el;
-                        wsum += w.weight;
                     }
+                    let esum = crate::reduce::det_sum_by(walkers.len(), |i| {
+                        walkers[i].weight * walkers[i].e_local
+                    });
+                    let wsum = crate::reduce::det_sum_by(walkers.len(), |i| walkers[i].weight);
                     branch.branch(&mut walkers);
 
                     // --- allreduce of E_L and population ---
+                    slots.lock()[rank] = (esum, wsum);
                     {
                         let mut s = shared.lock();
-                        s.esum += esum;
-                        s.wsum += wsum;
                         s.pops += walkers.len();
                     }
                     barrier.wait();
-                    // Rank 0 computes the global trial energy.
+                    // Rank 0 reduces the rank-indexed partials in rank
+                    // order (fixed tree shape — arrival order cannot
+                    // change the bits) and computes the trial energy.
                     if rank == 0 {
+                        let (g_esum, g_wsum) = {
+                            let sl = slots.lock();
+                            (
+                                crate::reduce::det_sum_by(sl.len(), |r| sl[r].0),
+                                crate::reduce::det_sum_by(sl.len(), |r| sl[r].1),
+                            )
+                        };
                         let mut s = shared.lock();
-                        let e_avg = if s.wsum > 0.0 { s.esum / s.wsum } else { e0 };
+                        let e_avg = if g_wsum > 0.0 { g_esum / g_wsum } else { e0 };
                         let ratio = s.pops as f64 / params.total_population as f64;
                         s.e_trial = e_avg - (1.0 / params.tau) * ratio.ln().clamp(-1.0, 1.0);
                         if step >= params.warmup {
-                            energies.lock().push((e_avg, s.wsum));
+                            energies.lock().push((e_avg, g_wsum));
                             *samples.lock() += s.pops as u64;
                         }
-                        s.esum = 0.0;
-                        s.wsum = 0.0;
                     }
                     barrier.wait();
                     branch.e_trial = shared.lock().e_trial;
@@ -209,16 +221,11 @@ where
     let seconds = t0.elapsed().as_secs_f64();
 
     let energies = energies.into_inner();
-    let (mut es, mut ws) = (0.0, 0.0);
-    for (e, w) in &energies {
-        es += e * w;
-        ws += w;
-    }
     let shared = shared.into_inner();
     MultiRankResult {
         seconds,
         samples: samples.into_inner(),
-        energy: if ws > 0.0 { es / ws } else { 0.0 },
+        energy: crate::reduce::det_weighted_mean(&energies, 0.0),
         exchanged: shared.pool_moved,
         bytes_exchanged: shared.bytes_moved,
     }

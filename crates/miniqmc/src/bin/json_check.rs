@@ -11,11 +11,12 @@
 use std::io::Read;
 
 /// Schema-specific checks for qmclint reports. `qmclint/1` (lexical +
-/// graph rules only) and `qmclint/2` (adds the `effects` block) are both
-/// accepted; any other version is a hard error so a silent format bump
-/// cannot sail through CI.
+/// graph rules only), `qmclint/2` (adds the `effects` block) and
+/// `qmclint/3` (adds the `par` concurrency block) are all accepted; any
+/// other version is a hard error so a silent format bump cannot sail
+/// through CI.
 fn check_qmclint(schema: &str, v: &qmc_instrument::json::JsonValue) {
-    if schema != "qmclint/1" && schema != "qmclint/2" {
+    if schema != "qmclint/1" && schema != "qmclint/2" && schema != "qmclint/3" {
         eprintln!("json_check: unknown qmclint schema `{schema}`");
         std::process::exit(1);
     }
@@ -25,9 +26,9 @@ fn check_qmclint(schema: &str, v: &qmc_instrument::json::JsonValue) {
             std::process::exit(1);
         }
     }
-    if schema == "qmclint/2" {
+    if schema == "qmclint/2" || schema == "qmclint/3" {
         let Some(effects) = v.get("effects") else {
-            eprintln!("json_check: qmclint/2 report missing `effects` block");
+            eprintln!("json_check: {schema} report missing `effects` block");
             std::process::exit(1);
         };
         for key in [
@@ -37,7 +38,25 @@ fn check_qmclint(schema: &str, v: &qmc_instrument::json::JsonValue) {
             "rules",
         ] {
             if effects.get(key).is_none() {
-                eprintln!("json_check: qmclint/2 `effects` block missing `{key}`");
+                eprintln!("json_check: {schema} `effects` block missing `{key}`");
+                std::process::exit(1);
+            }
+        }
+    }
+    if schema == "qmclint/3" {
+        let Some(par) = v.get("par") else {
+            eprintln!("json_check: qmclint/3 report missing `par` block");
+            std::process::exit(1);
+        };
+        for key in [
+            "spawn_sites",
+            "parallel_fns",
+            "sched_cases",
+            "det_reduce_calls",
+            "rules",
+        ] {
+            if par.get(key).is_none() {
+                eprintln!("json_check: qmclint/3 `par` block missing `{key}`");
                 std::process::exit(1);
             }
         }

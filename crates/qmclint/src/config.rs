@@ -278,6 +278,115 @@ pub const CHECKPOINTED_STRUCTS: [CheckpointedStruct; 5] = [
     },
 ];
 
+// ---------------------------------------------------------------------------
+// Concurrency-safety configuration (qmclint v4)
+// ---------------------------------------------------------------------------
+
+/// Methods that introduce a concurrently-executed closure on the vendored
+/// `shims/rayon` scope (and `std::thread::scope`, which spells the spawn
+/// identically). Like [`RNG_DRAW_METHODS`], the shim itself is exempt from
+/// linting, so spawn *sites* are recognized lexically; the shim-side
+/// `SPAWN_METHODS` mirror test keeps this list honest.
+pub const SPAWN_METHODS: [&str; 1] = ["spawn"];
+
+/// Parallel-iterator adapters of the rayon shim: a `.for_each(|..| ..)`
+/// whose receiver chain passes through one of these is a parallel closure
+/// site. `par_chunks_mut` is the provably-disjoint pattern — its closure
+/// parameters are per-chunk exclusive borrows and therefore sanctioned
+/// mutation targets.
+pub const PAR_ITER_METHODS: [&str; 2] = ["par_chunks_mut", "par_iter"];
+
+/// Interior-mutability methods whose call on a captured receiver counts as
+/// a mutation for the shared-mutable-capture rule even without an `=`.
+pub const INTERIOR_MUT_METHODS: [&str; 6] = [
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "borrow_mut",
+    "replace",
+    "set",
+];
+
+/// The deterministic reduction primitive: an accumulation whose right-hand
+/// side flows through one of these is ordered by construction (fixed-shape
+/// pairwise tree, bitwise invariant to thread count and chunking) and is
+/// exempt from the parallel-reduction-order rule.
+pub const DET_REDUCE_FNS: [&str; 3] = ["det_sum", "det_sum_by", "det_weighted_mean"];
+
+/// Where the named schedule-exploration cases live. Only non-test
+/// functions named `explore_*` defined under this prefix satisfy the
+/// schedule-coverage rule.
+pub const SCHED_CASE_PATH: &str = "crates/qmcsched/src/";
+
+/// One row of the schedule-coverage registry: a parallel entry point, the
+/// named `qmcsched` case that exercises it, and a witness identifier that
+/// must appear in the case's transitive identifier surface. The witness is
+/// the reviewed annotation (like the timer-coverage `Kernel` variants);
+/// the identifier cross-check is what keeps the row from going stale when
+/// the case is refactored away from the entry point.
+pub struct SchedRoot {
+    /// Parallel entry point: a non-test function containing a spawn site.
+    pub entry: &'static str,
+    /// The `explore_*` case in [`SCHED_CASE_PATH`] exercising it.
+    pub case: &'static str,
+    /// Identifier that must be transitively reachable from the case.
+    pub via: &'static str,
+}
+
+/// The schedule-coverage registry: every non-test parallel entry point in
+/// a physics crate must have a row here, and every row must point at a
+/// live case that still (transitively) mentions the witness identifier.
+/// `run_multi_rank` spawns OS threads directly (`std::thread::scope` —
+/// barrier synchronization would deadlock under the shim's serial
+/// schedules), so its case exercises it without a schedule sweep.
+pub const SCHED_ROOTS: [SchedRoot; 8] = [
+    SchedRoot {
+        entry: "parallel_generation",
+        case: "explore_dmc_parallel",
+        via: "run_dmc_parallel",
+    },
+    SchedRoot {
+        entry: "run_vmc_parallel",
+        case: "explore_vmc",
+        via: "run_vmc_parallel",
+    },
+    SchedRoot {
+        entry: "run_dmc_parallel_controlled",
+        case: "explore_dmc_parallel",
+        via: "run_dmc_parallel",
+    },
+    SchedRoot {
+        entry: "generation",
+        case: "explore_dmc_crowd",
+        via: "run_dmc_crowd",
+    },
+    SchedRoot {
+        entry: "run_dmc_crowd_controlled",
+        case: "explore_dmc_crowd",
+        via: "run_dmc_crowd",
+    },
+    SchedRoot {
+        entry: "run_multi_rank",
+        case: "explore_multi_rank",
+        via: "run_multi_rank",
+    },
+    SchedRoot {
+        entry: "set_control_points",
+        case: "explore_vmc",
+        via: "build_engine_f32",
+    },
+    SchedRoot {
+        entry: "evaluate_v_parallel",
+        case: "explore_tiled_spline",
+        via: "evaluate_v_parallel",
+    },
+];
+
+/// Looks up the registry row for a parallel entry point.
+pub fn sched_root(entry: &str) -> Option<&'static SchedRoot> {
+    SCHED_ROOTS.iter().find(|r| r.entry == entry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +446,23 @@ mod tests {
             "read_dmc_checkpoint"
         ));
         assert!(!is_pure_root("crates/drivers/src/walker.rs", "branch_copy"));
+    }
+
+    #[test]
+    fn sched_registry_shape() {
+        // Rows are keyed by entry name; duplicates would shadow silently.
+        for (i, a) in SCHED_ROOTS.iter().enumerate() {
+            assert!(a.case.starts_with("explore_"), "case {}", a.case);
+            assert!(!a.via.is_empty());
+            for b in &SCHED_ROOTS[i + 1..] {
+                assert_ne!(a.entry, b.entry, "duplicate registry entry");
+            }
+        }
+        assert_eq!(
+            sched_root("parallel_generation").map(|r| r.case),
+            Some("explore_dmc_parallel")
+        );
+        assert!(sched_root("not_a_parallel_entry").is_none());
     }
 
     #[test]

@@ -43,6 +43,25 @@ pub enum Rule {
     /// without extending the `qmc-checkpoint/1` codec fails here instead
     /// of silently breaking restart parity.
     StateCoverage,
+    /// A `&mut`/interior-mutable capture mutated from a parallel closure
+    /// while aliased across concurrently-spawned siblings. Provably
+    /// disjoint patterns (closure parameters from `par_chunks_mut`,
+    /// per-iteration bindings, lock-guarded chains) are sanctioned.
+    SharedMutableCapture,
+    /// A bare `+=`/`-=` float accumulation inside (or merging after) a
+    /// parallel section instead of the deterministic fixed-shape reduction
+    /// (`qmc_drivers::reduce::det_sum*`) or the documented walker-order
+    /// sequential merge — the schedule-dependent-bits bug class.
+    ParallelReductionOrder,
+    /// A single RNG borrow crossing a spawn boundary: a draw through a
+    /// captured stream shared between parallel closures. Walkers own their
+    /// streams; re-keying happens only in `reseed_for_migration`.
+    RngCapture,
+    /// A parallel entry point (a non-test function containing a spawn
+    /// site) with no registered named `qmcsched` case exercising it, or a
+    /// registry row gone stale (case missing, witness ident no longer
+    /// reachable from the case).
+    ScheduleCoverage,
     /// Malformed `qmclint:` marker (unknown rule, missing justification).
     BadMarker,
 }
@@ -70,6 +89,17 @@ pub const EFFECT_RULES: [Rule; 3] = [
     Rule::StateCoverage,
 ];
 
+/// The concurrency-safety rules over the spawn-site model (qmclint v4),
+/// run ahead of the sharded executor so every parallel construct lands
+/// with its aliasing, reduction order and schedule coverage already
+/// checked. Exercised by multi-file fixtures under `tests/fixtures/graph/`.
+pub const PAR_RULES: [Rule; 4] = [
+    Rule::SharedMutableCapture,
+    Rule::ParallelReductionOrder,
+    Rule::RngCapture,
+    Rule::ScheduleCoverage,
+];
+
 impl Rule {
     /// Stable rule id used in diagnostics and allow markers.
     pub fn id(self) -> &'static str {
@@ -85,6 +115,10 @@ impl Rule {
             Rule::SerializationPurity => "serialization-purity",
             Rule::RngDiscipline => "rng-discipline",
             Rule::StateCoverage => "state-coverage",
+            Rule::SharedMutableCapture => "shared-mutable-capture",
+            Rule::ParallelReductionOrder => "parallel-reduction-order",
+            Rule::RngCapture => "rng-capture",
+            Rule::ScheduleCoverage => "schedule-coverage",
             Rule::BadMarker => "bad-marker",
         }
     }
@@ -103,6 +137,10 @@ impl Rule {
             "serialization-purity" => Some(Rule::SerializationPurity),
             "rng-discipline" => Some(Rule::RngDiscipline),
             "state-coverage" => Some(Rule::StateCoverage),
+            "shared-mutable-capture" => Some(Rule::SharedMutableCapture),
+            "parallel-reduction-order" => Some(Rule::ParallelReductionOrder),
+            "rng-capture" => Some(Rule::RngCapture),
+            "schedule-coverage" => Some(Rule::ScheduleCoverage),
             "bad-marker" => Some(Rule::BadMarker),
             _ => None,
         }
@@ -186,16 +224,44 @@ pub struct EffectsSummary {
     pub checkpointed_structs: Vec<(String, usize)>,
 }
 
-/// Renders a full report (`qmclint/2` schema) as machine-readable JSON.
+/// Workspace-wide concurrency inventory reported alongside the diagnostics
+/// in the `qmclint/3` `par` block. Like [`EffectsSummary`], the counts let
+/// CI watch the analysis surface itself — `spawn_sites` dropping to zero
+/// means the classifier silently stopped seeing the parallel sections.
+#[derive(Clone, Debug, Default)]
+pub struct ParSummary {
+    /// Parallel-closure sites (`scope.spawn`, `par_chunks_mut`/`par_iter`
+    /// `for_each`) in analyzed non-test functions.
+    pub spawn_sites: usize,
+    /// Non-test functions containing at least one spawn site — the
+    /// parallel entry points the schedule-coverage rule tracks.
+    pub parallel_fns: usize,
+    /// Named `qmcsched` exploration cases found (`explore_*` functions in
+    /// `crates/qmcsched/src/`).
+    pub sched_cases: usize,
+    /// Call sites to the deterministic reduction primitive
+    /// (`det_sum` / `det_sum_by` / `det_weighted_mean`).
+    pub det_reduce_calls: usize,
+}
+
+/// Renders a full report (`qmclint/3` schema) as machine-readable JSON.
 ///
 /// Each schema bump has been purely additive. v2 added the `by_rule`
 /// count object (every rule id at its count — the CI gate greps this to
 /// fail on any diagnostic class going nonzero) and a per-diagnostic
-/// `chain` array. v3 bumps the schema tag to `qmclint/2` and adds the
-/// `effects` block: per-effect-rule counts, the pure-root inventory and
+/// `chain` array. The `qmclint/2` tag added the `effects` block:
+/// per-effect-rule counts, the pure-root inventory and
 /// per-checkpointed-struct field tallies from [`EffectsSummary`].
-pub fn render_json(diags: &[Diagnostic], files_scanned: usize, effects: &EffectsSummary) -> String {
-    let mut out = String::from("{\"schema\":\"qmclint/2\",");
+/// `qmclint/3` extends `by_rule` with the four concurrency rules and adds
+/// the `par` block: the spawn-site / parallel-fn / sched-case /
+/// det-reduce-call inventory from [`ParSummary`] plus per-par-rule counts.
+pub fn render_json(
+    diags: &[Diagnostic],
+    files_scanned: usize,
+    effects: &EffectsSummary,
+    par: &ParSummary,
+) -> String {
+    let mut out = String::from("{\"schema\":\"qmclint/3\",");
     let _ = write!(out, "\"files_scanned\":{files_scanned},");
     let _ = write!(out, "\"diagnostics_total\":{},", diags.len());
     out.push_str("\"by_rule\":{");
@@ -203,6 +269,7 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize, effects: &Effects
         .iter()
         .chain(GRAPH_RULES.iter())
         .chain(EFFECT_RULES.iter())
+        .chain(PAR_RULES.iter())
         .copied()
         .chain([Rule::BadMarker])
         .collect();
@@ -225,6 +292,19 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize, effects: &Effects
     }
     out.push_str("},\"rules\":{");
     for (i, rule) in EFFECT_RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let count = diags.iter().filter(|d| d.rule == *rule).count();
+        let _ = write!(out, "\"{rule}\":{count}");
+    }
+    out.push_str("}},\"par\":{");
+    let _ = write!(out, "\"spawn_sites\":{},", par.spawn_sites);
+    let _ = write!(out, "\"parallel_fns\":{},", par.parallel_fns);
+    let _ = write!(out, "\"sched_cases\":{},", par.sched_cases);
+    let _ = write!(out, "\"det_reduce_calls\":{},", par.det_reduce_calls);
+    out.push_str("\"rules\":{");
+    for (i, rule) in PAR_RULES.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -267,7 +347,12 @@ mod tests {
 
     #[test]
     fn rule_ids_roundtrip() {
-        for r in ALL_RULES.iter().chain(&GRAPH_RULES).chain(&EFFECT_RULES) {
+        for r in ALL_RULES
+            .iter()
+            .chain(&GRAPH_RULES)
+            .chain(&EFFECT_RULES)
+            .chain(&PAR_RULES)
+        {
             assert_eq!(Rule::from_id(r.id()), Some(*r));
         }
         assert_eq!(Rule::from_id("nope"), None);
@@ -283,7 +368,7 @@ mod tests {
             suggestion: "don't".into(),
             chain: Vec::new(),
         };
-        let j = render_json(&[d], 1, &EffectsSummary::default());
+        let j = render_json(&[d], 1, &EffectsSummary::default(), &ParSummary::default());
         assert!(j.contains("\\`unwrap()\\`") || j.contains("`unwrap()`"));
         assert!(j.contains("\"files_scanned\":1"));
         assert!(j.contains("\"rule\":\"hot-path\""));
@@ -291,6 +376,7 @@ mod tests {
         assert!(j.contains("\"hot-path\":1"));
         assert!(j.contains("\"lock-order\":0"));
         assert!(j.contains("\"serialization-purity\":0"));
+        assert!(j.contains("\"shared-mutable-capture\":0"));
     }
 
     #[test]
@@ -308,8 +394,8 @@ mod tests {
             rng_draw_sites: 5,
             checkpointed_structs: vec![("DmcState".into(), 9), ("Walker".into(), 8)],
         };
-        let j = render_json(&[d], 3, &effects);
-        assert!(j.starts_with("{\"schema\":\"qmclint/2\","));
+        let j = render_json(&[d], 3, &effects, &ParSummary::default());
+        assert!(j.starts_with("{\"schema\":\"qmclint/3\","));
         assert!(j.contains(
             "\"effects\":{\"pure_roots\":7,\"rng_draw_sites\":5,\
              \"checkpointed_structs\":{\"DmcState\":9,\"Walker\":8},\
@@ -317,6 +403,34 @@ mod tests {
         ));
         // The top-level by_rule object carries the effect rules too.
         assert!(j.contains("\"serialization-purity\":1"));
+    }
+
+    #[test]
+    fn par_block_renders_inventory_and_rule_counts() {
+        let d = Diagnostic {
+            file: "crates/drivers/src/parallel.rs".into(),
+            line: 90,
+            rule: Rule::ParallelReductionOrder,
+            message: "bare `esum += ..` merged after a parallel section".into(),
+            suggestion: "reduce through qmc_drivers::reduce::det_sum_by".into(),
+            chain: vec!["parallel_generation (crates/drivers/src/parallel.rs:60)".into()],
+        };
+        let par = ParSummary {
+            spawn_sites: 9,
+            parallel_fns: 8,
+            sched_cases: 8,
+            det_reduce_calls: 14,
+        };
+        let j = render_json(&[d], 4, &EffectsSummary::default(), &par);
+        assert!(j.starts_with("{\"schema\":\"qmclint/3\","));
+        assert!(j.contains(
+            "\"par\":{\"spawn_sites\":9,\"parallel_fns\":8,\
+             \"sched_cases\":8,\"det_reduce_calls\":14,\
+             \"rules\":{\"shared-mutable-capture\":0,\"parallel-reduction-order\":1,\
+             \"rng-capture\":0,\"schedule-coverage\":0}}"
+        ));
+        // The top-level by_rule object carries the par rules too.
+        assert!(j.contains("\"parallel-reduction-order\":1"));
     }
 
     #[test]
@@ -332,7 +446,7 @@ mod tests {
         assert!(d
             .render_human()
             .contains("via: evaluate (a.rs:3) -> helper (b.rs:9)"));
-        let j = render_json(&[d], 2, &EffectsSummary::default());
+        let j = render_json(&[d], 2, &EffectsSummary::default(), &ParSummary::default());
         assert!(j.contains("\"chain\":[\"evaluate (a.rs:3)\",\"helper (b.rs:9)\"]"));
         assert!(j.contains("\"hot-path-call\":1"));
     }

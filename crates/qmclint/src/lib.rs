@@ -47,6 +47,24 @@
 //!     clone, so the `qmc-checkpoint/1` codec can never silently drop
 //!     state.
 //!
+//! v4 models every parallel section (`scope.spawn` closures,
+//! `par_chunks_mut`/`par_iter` `for_each` bodies) — captures, mutations,
+//! RNG draws — and runs four concurrency rules on it ([`par_rules`]),
+//! ahead of the sharded executor:
+//!
+//! 12. **shared-mutable-capture** — mutation of a capture aliased across
+//!     concurrently-spawned closures; task-local bindings and lock-guarded
+//!     chains are sanctioned.
+//! 13. **parallel-reduction-order** — bare float `+=` accumulation in a
+//!     function with parallel sections; reductions must flow through
+//!     `qmc_drivers::reduce::det_sum*` (fixed-shape pairwise tree) so the
+//!     bits cannot follow the thread schedule.
+//! 14. **rng-capture** — an RNG stream borrowed across a spawn boundary
+//!     instead of per-task ownership.
+//! 15. **schedule-coverage** — every parallel entry point in a physics
+//!     crate is registered with a named `qmcsched` case, cross-checked
+//!     registry-with-witness style like timer-coverage.
+//!
 //! Dependency-free by necessity (the registry is unreachable): the lexer
 //! is hand-rolled, and the configuration lives in [`config`] rather than a
 //! toml file. Exceptions are justified in-source via
@@ -61,6 +79,7 @@ pub mod effect_rules;
 pub mod graph_rules;
 pub mod lexer;
 pub mod model;
+pub mod par_rules;
 pub mod rules;
 
 use std::collections::BTreeSet;
@@ -68,7 +87,8 @@ use std::path::{Path, PathBuf};
 
 pub use config::{classify, FileClass};
 pub use diag::{
-    render_json, Diagnostic, EffectsSummary, Rule, ALL_RULES, EFFECT_RULES, GRAPH_RULES,
+    render_json, Diagnostic, EffectsSummary, ParSummary, Rule, ALL_RULES, EFFECT_RULES,
+    GRAPH_RULES, PAR_RULES,
 };
 pub use model::WorkspaceModel;
 pub use rules::{check_kernel_coverage, lint_source, KernelUsage};
@@ -80,8 +100,10 @@ pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files actually scanned (exempt files excluded).
     pub files_scanned: usize,
-    /// Effect-inference inventory for the `qmclint/2` `effects` block.
+    /// Effect-inference inventory for the `effects` block.
     pub effects: EffectsSummary,
+    /// Parallel-section inventory for the `qmclint/3` `par` block.
+    pub par: ParSummary,
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>, visited: &mut BTreeSet<PathBuf>) {
@@ -163,6 +185,7 @@ pub fn lint_files(files: &[(String, String)]) -> LintReport {
     let model = WorkspaceModel::build(&model_input);
     graph_rules::check_graph(&model, &mut report.diagnostics);
     report.effects = effect_rules::check_effects(&model, &mut report.diagnostics);
+    report.par = par_rules::check_par(&model, &mut report.diagnostics);
 
     report
         .diagnostics

@@ -1,0 +1,25 @@
+// fixture-path: crates/instrument/src/par_merge_fixture.rs
+//! Seeded bug: two schedule-ordered float reductions. Inside the closure,
+//! per-task partials are folded into a shared accumulator in completion
+//! order (the lock serializes the accesses but not the association
+//! order); after the join, partials are folded with a bare sequential
+//! `+=` whose shape differs from the deterministic tree. Either one lets
+//! the thread schedule reach the trajectory bits.
+
+/// Merges per-chunk energy partials the order-dependent way, twice.
+pub fn merged_energy(parts: &[f64], chunks: Vec<Chunk>, sink: &Mutex<Acc>) -> f64 {
+    rayon::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(move || {
+                let part: f64 = chunk.local_sum();
+                let mut s = sink.lock();
+                s.esum += part; //~ parallel-reduction-order
+            });
+        }
+    });
+    let mut esum = 0.0;
+    for &p in parts {
+        esum += p; //~ parallel-reduction-order
+    }
+    esum
+}

@@ -1,0 +1,20 @@
+// fixture-path: crates/drivers/src/par_rng_fixture.rs
+//! Seeded bug: one RNG stream borrowed across the spawn boundary. Every
+//! task draws from the same captured generator, so the values each chunk
+//! receives depend on task interleaving — and the stream desynchronizes
+//! from the per-walker reseed discipline. Being an unregistered parallel
+//! entry point in a physics crate, the fn also (correctly) trips the
+//! schedule-coverage registry check.
+
+/// Fills chunks with noise drawn from a shared stream.
+pub fn fan_out_noise(chunks: Vec<Chunk>, rng: &mut StdRng) { //~ schedule-coverage
+    rayon::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(move || {
+                for x in chunk.iter_mut() {
+                    *x = rng.random(); //~ rng-capture
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,17 @@
+// fixture-path: crates/drivers/src/shard_fixture.rs
+//! Seeded bug: a brand-new parallel entry point in a physics crate with
+//! no `SchedRoot` registry row — exactly what the sharded executor will
+//! try to add. Until it is registered with a named `qmcsched` case that
+//! drives it across schedules, its determinism claim is unchecked and
+//! the registry cross-check refuses it.
+
+/// Fans a generation out over walker shards; nobody explores it.
+pub fn shard_generation(shards: Vec<Shard>) { //~ schedule-coverage
+    rayon::scope(|scope| {
+        for shard in shards {
+            scope.spawn(move || {
+                shard.advance();
+            });
+        }
+    });
+}

@@ -1,0 +1,17 @@
+// fixture-path: crates/instrument/src/par_capture_fixture.rs
+//! Seeded bug: every spawned task writes its result through the same
+//! captured `&mut` scalar. The tasks run concurrently (one spawn per loop
+//! iteration), so the final value depends on which task finishes last —
+//! a data race under real rayon, a schedule-dependent value under the
+//! serialized shim.
+
+/// Fans jobs out and lets them fight over one output slot.
+pub fn fan_out_totals(jobs: &[Job], total: &mut f64) {
+    rayon::scope(|scope| {
+        for job in jobs {
+            scope.spawn(move || {
+                *total = job.run(); //~ shared-mutable-capture
+            });
+        }
+    });
+}

@@ -21,10 +21,10 @@
 #![forbid(unsafe_code)]
 
 use qmc_containers::Real;
-use qmc_crowd::{run_dmc_crowd, CrowdScheduler};
+use qmc_crowd::{run_dmc_crowd, run_vmc_crowd, CrowdScheduler};
 use qmc_drivers::{
-    initial_population, run_dmc_parallel, run_vmc_parallel, Batching, DmcParams, QmcEngine,
-    VmcParams, Walker,
+    initial_population, run_dmc_parallel, run_multi_rank, run_vmc_parallel, Batching, DmcParams,
+    MultiRankParams, QmcEngine, VmcParams, Walker,
 };
 use qmc_instrument::json::JsonWriter;
 use qmc_workloads::{Benchmark, CodeVersion, Size, Workload};
@@ -137,15 +137,7 @@ pub fn explore_vmc(cfg: &HarnessConfig) -> DriverParity {
                     .collect();
                 let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
                 let res = run_vmc_parallel(&mut engines, &mut walkers, &params);
-                let mut scalars = Fnv::new();
-                scalars.f64(res.energy.mean());
-                scalars.f64(res.acceptance);
-                scalars.u64(res.samples);
-                RunFingerprint {
-                    schedule: sched.label(),
-                    walkers: walkers.iter().map(walker_digest).collect(),
-                    scalars: scalars.value(),
-                }
+                vmc_fingerprint(sched.label(), &walkers, &res)
             })
         })
         .collect();
@@ -168,7 +160,7 @@ fn dmc_params(cfg: &HarnessConfig, batching: Batching) -> DmcParams {
 }
 
 fn dmc_fingerprint<T: Real>(
-    sched: Schedule,
+    label: String,
     walkers: &[Walker<T>],
     res: &qmc_drivers::DmcResult,
 ) -> RunFingerprint {
@@ -181,7 +173,23 @@ fn dmc_fingerprint<T: Real>(
         scalars.u64(p as u64);
     }
     RunFingerprint {
-        schedule: sched.label(),
+        schedule: label,
+        walkers: walkers.iter().map(walker_digest).collect(),
+        scalars: scalars.value(),
+    }
+}
+
+fn vmc_fingerprint<T: Real>(
+    label: String,
+    walkers: &[Walker<T>],
+    res: &qmc_drivers::VmcResult,
+) -> RunFingerprint {
+    let mut scalars = Fnv::new();
+    scalars.f64(res.energy.mean());
+    scalars.f64(res.acceptance);
+    scalars.u64(res.samples);
+    RunFingerprint {
+        schedule: label,
         walkers: walkers.iter().map(walker_digest).collect(),
         scalars: scalars.value(),
     }
@@ -200,7 +208,7 @@ pub fn explore_dmc_parallel(cfg: &HarnessConfig) -> DriverParity {
                     .collect();
                 let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
                 let (res, _profile) = run_dmc_parallel(&mut engines, &mut walkers, &params);
-                dmc_fingerprint(sched, &walkers, &res)
+                dmc_fingerprint(sched.label(), &walkers, &res)
             })
         })
         .collect();
@@ -223,7 +231,7 @@ pub fn explore_dmc_crowd(cfg: &HarnessConfig) -> DriverParity {
                     scheduler.build_crowds(|| w.build_engine_f32(CodeVersion::Current));
                 let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
                 let (res, _profile) = run_dmc_crowd(&mut crowds, &mut walkers, &params);
-                dmc_fingerprint(sched, &walkers, &res)
+                dmc_fingerprint(sched.label(), &walkers, &res)
             })
         })
         .collect();
@@ -339,14 +347,205 @@ pub fn explore_simd_tolerance(cfg: &HarnessConfig) -> SimdToleranceCase {
     }
 }
 
+/// Thread-count sweep: runs the VMC and DMC drivers at 1, 2 and 4 worker
+/// threads (and, for VMC, additionally under crowd batching) and demands
+/// bitwise parity of every per-walker digest and every scalar output.
+///
+/// The schedule sweeps ([`explore_vmc`] &c.) vary the interleaving at a
+/// *fixed* thread count; this case varies the thread count itself, which
+/// also moves every chunk boundary. It holds because per-walker
+/// trajectories are walker-owned (own RNG stream, state loaded/stored per
+/// walker) and every cross-walker reduction either drains sample buffers
+/// sequentially in walker order or goes through
+/// `qmc_drivers::reduce::det_sum*`, whose fixed-shape pairwise tree
+/// depends only on the term count — never on thread count or chunking.
+pub fn explore_thread_sweep(cfg: &HarnessConfig) -> Vec<DriverParity> {
+    let w = workload(cfg.seed);
+    let threads = [1usize, 2, 4];
+
+    // VMC, per-walker batching at each thread count, plus the crowd-
+    // batched driver: both are documented bitwise identical to the
+    // single-engine `run_vmc`, so one parity set covers both batchings.
+    let vmc_params = VmcParams {
+        blocks: cfg.steps,
+        steps_per_block: 3,
+        tau: 0.3,
+        measure_every: 1,
+        batching: Batching::PerWalker,
+    };
+    let mut vmc_runs: Vec<RunFingerprint> = threads
+        .iter()
+        .map(|&t| {
+            let mut engines: Vec<QmcEngine<f32>> = (0..t)
+                .map(|_| w.build_engine_f32(CodeVersion::Current))
+                .collect();
+            let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
+            let res = run_vmc_parallel(&mut engines, &mut walkers, &vmc_params);
+            vmc_fingerprint(format!("threads:{t}"), &walkers, &res)
+        })
+        .collect();
+    {
+        let crowd_params = VmcParams {
+            batching: Batching::Crowd(2),
+            ..vmc_params
+        };
+        let mut crowds =
+            CrowdScheduler::new(1, 2).build_crowds(|| w.build_engine_f32(CodeVersion::Current));
+        let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
+        let res = run_vmc_crowd(&mut crowds[0], &mut walkers, &crowd_params);
+        vmc_runs.push(vmc_fingerprint("crowd:2".into(), &walkers, &res));
+    }
+
+    // DMC, per-walker batching: generation merges flow through
+    // `det_sum_by` over walker-indexed terms, so moving the chunk
+    // boundaries must not move a single bit.
+    let dmc_pw = dmc_params(cfg, Batching::PerWalker);
+    let dmc_runs: Vec<RunFingerprint> = threads
+        .iter()
+        .map(|&t| {
+            let mut engines: Vec<QmcEngine<f32>> = (0..t)
+                .map(|_| w.build_engine_f32(CodeVersion::Current))
+                .collect();
+            let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
+            let (res, _profile) = run_dmc_parallel(&mut engines, &mut walkers, &dmc_pw);
+            dmc_fingerprint(format!("threads:{t}"), &walkers, &res)
+        })
+        .collect();
+
+    // DMC, crowd batching: the thread count sets how many crowds the
+    // scheduler fans the generation over.
+    let dmc_cw = dmc_params(cfg, Batching::Crowd(2));
+    let crowd_runs: Vec<RunFingerprint> = threads
+        .iter()
+        .map(|&t| {
+            let scheduler = CrowdScheduler::new(t, 2);
+            let mut crowds = scheduler.build_crowds(|| w.build_engine_f32(CodeVersion::Current));
+            let mut walkers = initial_population(w.initial_positions(), cfg.walkers, cfg.seed);
+            let (res, _profile) = run_dmc_crowd(&mut crowds, &mut walkers, &dmc_cw);
+            dmc_fingerprint(format!("threads:{t}"), &walkers, &res)
+        })
+        .collect();
+
+    vec![
+        DriverParity {
+            driver: "vmc-thread-sweep".into(),
+            runs: vmc_runs,
+        },
+        DriverParity {
+            driver: "dmc-thread-sweep".into(),
+            runs: dmc_runs,
+        },
+        DriverParity {
+            driver: "dmc-crowd-thread-sweep".into(),
+            runs: crowd_runs,
+        },
+    ]
+}
+
+/// Repeats the simulated multi-rank DMC run and demands bitwise-identical
+/// outputs. OS thread scheduling genuinely varies between repeats, so this
+/// is a live nondeterminism probe of the allreduce: it holds because each
+/// rank writes its `(Σ wE, Σ w)` partial into a rank-indexed slot and rank
+/// 0 reduces the slots with `det_sum_by` — barrier arrival order cannot
+/// reach the bits.
+///
+/// Two ranks exactly: with two ranks at most one rank can hold a surplus
+/// in any generation (both above the average population is impossible),
+/// so the serialized-walker exchange pool has a single writer between
+/// barriers and walker migration is deterministic too. Wider rank counts
+/// would race concurrent surplus pushes for pool order — a real (benign)
+/// nondeterminism in walker *placement* this case deliberately leaves out
+/// of scope.
+pub fn explore_multi_rank(cfg: &HarnessConfig) -> DriverParity {
+    let w = workload(cfg.seed);
+    let params = MultiRankParams {
+        ranks: 2,
+        total_population: cfg.walkers.max(4),
+        steps: cfg.steps,
+        warmup: 1,
+        tau: 0.003,
+        seed: cfg.seed ^ 0x5EED,
+    };
+    let runs = (0..3)
+        .map(|rep| {
+            let res = run_multi_rank(
+                |_rank| w.build_engine_f32(CodeVersion::Current),
+                w.initial_positions(),
+                &params,
+            );
+            let mut scalars = Fnv::new();
+            scalars.f64(res.energy);
+            scalars.u64(res.samples);
+            scalars.u64(res.exchanged);
+            scalars.u64(res.bytes_exchanged);
+            RunFingerprint {
+                schedule: format!("repeat:{rep}"),
+                walkers: Vec::new(),
+                scalars: scalars.value(),
+            }
+        })
+        .collect();
+    DriverParity {
+        driver: "multi-rank".into(),
+        runs,
+    }
+}
+
+/// Runs the tiled B-spline `evaluate_v_parallel` (a `par_chunks_mut` +
+/// `par_iter` zip over output tiles) under every schedule and against the
+/// serial `evaluate_v`, comparing the output coefficients to the bit.
+/// Tiles write disjoint output chunks, so any interleaving — and the
+/// serial path — must produce identical bits.
+pub fn explore_tiled_spline(cfg: &HarnessConfig) -> DriverParity {
+    // Ragged on purpose: 19 splines over tile width 4 leaves a short
+    // final tile, so chunk boundaries are exercised, not just round ones.
+    let spline = qmc_bspline::TiledMultiBspline3D::<f32>::random([5, 5, 5], 19, 4, cfg.seed);
+    let u = [0.31f32, 0.57, 0.83];
+    let digest = |psi: &[f32]| {
+        let mut d = Fnv::new();
+        for &x in psi {
+            d.u64(u64::from(x.to_bits()));
+        }
+        d.value()
+    };
+    let mut runs = vec![{
+        let mut psi = vec![0.0f32; spline.num_splines()];
+        spline.evaluate_v(u, &mut psi);
+        RunFingerprint {
+            schedule: "serial".into(),
+            walkers: Vec::new(),
+            scalars: digest(&psi),
+        }
+    }];
+    runs.extend(schedules().into_iter().map(|sched| {
+        with_schedule(sched, || {
+            let mut psi = vec![0.0f32; spline.num_splines()];
+            spline.evaluate_v_parallel(u, &mut psi);
+            RunFingerprint {
+                schedule: sched.label(),
+                walkers: Vec::new(),
+                scalars: digest(&psi),
+            }
+        })
+    }));
+    DriverParity {
+        driver: "tiled-spline".into(),
+        runs,
+    }
+}
+
 /// Runs every driver exploration at the default harness size.
 pub fn explore_all(cfg: &HarnessConfig) -> Vec<DriverParity> {
-    vec![
+    let mut out = vec![
         explore_vmc(cfg),
         explore_dmc_parallel(cfg),
         explore_dmc_crowd(cfg),
         explore_backends(cfg),
-    ]
+    ];
+    out.extend(explore_thread_sweep(cfg));
+    out.push(explore_multi_rank(cfg));
+    out.push(explore_tiled_spline(cfg));
+    out
 }
 
 /// Renders the exploration outcome as a `qmcsched/1` JSON report (the same
@@ -444,6 +643,92 @@ mod tests {
             case.within_tolerance(),
             "simd backend energy outside the documented f32-rung window: {case:?}"
         );
+    }
+
+    #[test]
+    fn thread_sweep_is_bitwise_across_1_2_4_threads() {
+        // The acceptance claim of the deterministic reduction work: VMC
+        // and DMC trajectories, per-walker and crowd batching, must not
+        // move a bit when the worker-thread count (and with it every
+        // chunk boundary) changes.
+        for parity in explore_thread_sweep(&HarnessConfig::default()) {
+            assert!(parity.runs.len() >= 3, "{}: too few runs", parity.driver);
+            assert!(
+                parity.parity(),
+                "{} diverged across thread counts: {:?}",
+                parity.driver,
+                parity
+                    .runs
+                    .iter()
+                    .map(|r| (&r.schedule, r.scalars))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_rank_repeats_are_bitwise() {
+        let p = explore_multi_rank(&HarnessConfig::default());
+        assert_eq!(p.runs.len(), 3);
+        assert!(
+            p.parity(),
+            "multi-rank allreduce leaked schedule into the bits: {:?}",
+            p.runs
+                .iter()
+                .map(|r| (&r.schedule, r.scalars))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tiled_spline_parallel_eval_matches_serial_under_every_schedule() {
+        let p = explore_tiled_spline(&HarnessConfig::default());
+        assert!(p.runs.len() > schedules().len());
+        assert!(
+            p.parity(),
+            "tiled spline evaluation depends on the schedule: {:?}",
+            p.runs
+                .iter()
+                .map(|r| (&r.schedule, r.scalars))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn thread_sweep_would_catch_an_injected_bare_merge() {
+        // Negative control for the sweep: re-create the exact defect the
+        // `parallel-reduction-order` rule and `det_sum` exist to prevent —
+        // per-chunk partial folds merged in chunk-completion order — and
+        // show the 1/2/4-thread fingerprints diverge, while the
+        // deterministic tree over the same terms does not. If this test
+        // ever starts failing on the `injected` side, the harness has
+        // lost its teeth.
+        let terms: Vec<f64> = (0..1000)
+            .map(|i| {
+                let s = if i % 3 == 0 { -1.0 } else { 1.0 };
+                s * (1.0 + i as f64 * 1e-3) * 10f64.powi((i % 7) - 3)
+            })
+            .collect();
+        let injected: Vec<u64> = [1usize, 3, 4]
+            .iter()
+            .map(|&threads| {
+                let per = terms.len().div_ceil(threads);
+                let mut acc = 0.0; // the bare `+=` merge under test
+                for chunk in terms.chunks(per) {
+                    acc += chunk.iter().sum::<f64>();
+                }
+                acc.to_bits()
+            })
+            .collect();
+        assert_ne!(
+            injected[0], injected[2],
+            "term series too tame to expose the bare merge"
+        );
+        let det: Vec<u64> = [1usize, 3, 4]
+            .iter()
+            .map(|_| qmc_drivers::det_sum(&terms).to_bits())
+            .collect();
+        assert!(det.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -19,6 +19,18 @@
 
 pub mod schedule;
 
+/// The scoped-spawn entry points this shim exposes, re-stated as data.
+/// `qmclint`'s spawn-site scanner recognizes parallel closures lexically
+/// (this crate is lint-exempt), so its `config::SPAWN_METHODS` list must
+/// mirror the real API surface — the mirror test below pins the two
+/// together. Extending the spawn API without extending both lists is a
+/// test failure, not a silent analysis gap.
+pub const SPAWN_METHODS: [&str; 1] = ["spawn"];
+
+/// The parallel-iterator adapters this shim exposes, mirrored by
+/// `qmclint`'s `config::PAR_ITER_METHODS` the same way.
+pub const PAR_ITER_METHODS: [&str; 2] = ["par_chunks_mut", "par_iter"];
+
 /// A scoped task set, after `rayon::Scope`: tasks spawned here are
 /// guaranteed to complete before [`scope`] returns.
 ///
@@ -153,6 +165,15 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn spawn_api_mirrors_qmclint_config() {
+        // The linter models spawn sites lexically; this is the pin that
+        // keeps its method lists equal to the API this shim actually
+        // exposes.
+        assert_eq!(crate::SPAWN_METHODS, qmclint::config::SPAWN_METHODS);
+        assert_eq!(crate::PAR_ITER_METHODS, qmclint::config::PAR_ITER_METHODS);
+    }
 
     #[test]
     fn chunked_fill_covers_everything() {
